@@ -1,0 +1,106 @@
+// Ablation — transient peer failures (paper Section 4.2 admits candidates
+// may be "down"; the evaluation assumes none are).
+//
+// Sweeps the probability that a probed candidate is unreachable and shows
+// the protocol degrades gracefully: admission needs more retries but the
+// system still converges toward its maximum capacity.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  using p2ps::bench::paper_config;
+  using p2ps::workload::ArrivalPattern;
+
+  p2ps::bench::print_title(
+      "Ablation — candidate peers transiently down",
+      "(not in the paper; exercises admission condition 1: candidates may "
+      "be neither down nor busy)",
+      "higher down-probability => more rejections and longer waits, but "
+      "capacity still amplifies (graceful degradation, no collapse)");
+
+  const double down_probabilities[] = {0.0, 0.1, 0.3, 0.5};
+  std::vector<p2ps::engine::SimulationResult> results;
+  results.reserve(std::size(down_probabilities));
+  for (double p : down_probabilities) {
+    auto config = paper_config(ArrivalPattern::kRampUpDown, true, /*seed=*/404);
+    config.peer_down_probability = p;
+    results.push_back(p2ps::engine::StreamingSystem(config).run());
+  }
+
+  p2ps::util::TextTable table({"down prob", "admissions", "avg rejections",
+                               "avg wait (min)", "final capacity", "% of max"});
+  for (std::size_t i = 0; i < std::size(down_probabilities); ++i) {
+    const auto& result = results[i];
+    const auto overall = result.overall;
+    table.new_row()
+        .add_cell(down_probabilities[i], 1)
+        .add_cell(static_cast<long long>(overall.admissions))
+        .add_cell(overall.admissions
+                      ? p2ps::util::format_double(
+                            static_cast<double>(overall.rejections_before_admission_sum) /
+                                static_cast<double>(overall.admissions),
+                            2)
+                      : "-")
+        .add_cell(overall.mean_waiting_minutes()
+                      ? p2ps::util::format_double(*overall.mean_waiting_minutes(), 1)
+                      : "-")
+        .add_cell(static_cast<long long>(result.final_capacity))
+        .add_cell(100.0 * static_cast<double>(result.final_capacity) /
+                      static_cast<double>(result.max_capacity),
+                  1);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPermanent departures (suppliers leave for good after a "
+               "served session):\n";
+  const double departure_probabilities[] = {0.0, 0.02, 0.05, 0.10};
+  p2ps::util::TextTable departures({"departure prob", "admissions", "departed",
+                                    "final capacity", "% of max"});
+  for (double p : departure_probabilities) {
+    auto config = paper_config(ArrivalPattern::kRampUpDown, true, /*seed=*/404);
+    config.supplier_departure_probability = p;
+    const auto result = p2ps::engine::StreamingSystem(config).run();
+    departures.new_row()
+        .add_cell(p, 2)
+        .add_cell(static_cast<long long>(result.overall.admissions))
+        .add_cell(static_cast<long long>(result.suppliers_departed))
+        .add_cell(static_cast<long long>(result.final_capacity))
+        .add_cell(100.0 * static_cast<double>(result.final_capacity) /
+                      static_cast<double>(result.max_capacity),
+                  1);
+  }
+  departures.print(std::cout);
+  std::cout << "\nSelf-amplification survives moderate permanent churn: each "
+               "departed supplier\nis eventually replaced by a newly served "
+               "requester, but the equilibrium\ncapacity drops with the "
+               "departure rate.\n";
+
+  std::cout << "\nBandwidth-commitment defection (paper footnote 3 assumes "
+               "enforcement exists;\nhere admitted peers renege and supply "
+               "only class-4 bandwidth):\n";
+  const double defection_probabilities[] = {0.0, 0.25, 0.5, 1.0};
+  p2ps::util::TextTable defection({"defection prob", "admissions",
+                                   "capacity @72h", "final capacity", "% of max"});
+  for (double p : defection_probabilities) {
+    auto config = paper_config(ArrivalPattern::kRampUpDown, true, /*seed=*/404);
+    config.defection_probability = p;
+    const auto result = p2ps::engine::StreamingSystem(config).run();
+    defection.new_row()
+        .add_cell(p, 2)
+        .add_cell(static_cast<long long>(result.overall.admissions))
+        .add_cell(static_cast<long long>(
+            result.capacity_at(p2ps::util::SimTime::hours(72))))
+        .add_cell(static_cast<long long>(result.final_capacity))
+        .add_cell(100.0 * static_cast<double>(result.final_capacity) /
+                      static_cast<double>(result.max_capacity),
+                  1);
+  }
+  defection.print(std::cout);
+  std::cout << "\nWithout commitment enforcement the amplification collapses "
+               "toward the\nlowest class's supply — quantifying why the paper "
+               "needs footnote 3's\nmechanism and DAC_p2p's truthful-pledging "
+               "incentive.\n";
+  return 0;
+}

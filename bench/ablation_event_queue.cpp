@@ -1,0 +1,115 @@
+// Ablation — event-list data structure for the simulation substrate.
+//
+// Compares the binary heap the Simulator uses against a classic calendar
+// queue (Brown 1988) on workloads shaped like this reproduction's event
+// mix: dense request bursts, uniform retries, and sparse far-future
+// timeouts. Throughput is hold-model operations per second.
+#include <chrono>
+#include <iostream>
+#include <queue>
+
+#include "bench_util.hpp"
+#include "sim/calendar_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using p2ps::sim::CalendarEntry;
+using p2ps::util::SimTime;
+
+enum class Shape { kUniform, kBursty, kBimodal };
+
+std::int64_t next_gap_ms(Shape shape, p2ps::util::Rng& rng) {
+  switch (shape) {
+    case Shape::kUniform:
+      return rng.uniform_int(0, 2000);
+    case Shape::kBursty:
+      // 90% of events land within 10ms, the rest within 10s.
+      return rng.bernoulli(0.9) ? rng.uniform_int(0, 10) : rng.uniform_int(0, 10'000);
+    case Shape::kBimodal:
+      // Retry-style near events vs T_out-style far timers.
+      return rng.bernoulli(0.5) ? rng.uniform_int(0, 100)
+                                : rng.uniform_int(600'000, 1'200'000);
+  }
+  return 0;
+}
+
+const char* name(Shape shape) {
+  switch (shape) {
+    case Shape::kUniform: return "uniform";
+    case Shape::kBursty: return "bursty";
+    case Shape::kBimodal: return "bimodal";
+  }
+  return "?";
+}
+
+/// Classic hold model: prime with `population` events, then `ops` rounds of
+/// pop-one/push-one. Returns wall-clock microseconds.
+template <typename PushFn, typename PopFn>
+double hold_model(Shape shape, std::size_t population, std::size_t ops,
+                  PushFn push, PopFn pop) {
+  p2ps::util::Rng rng(42);
+  std::uint64_t seq = 0;
+  std::int64_t clock_ms = 0;
+  for (std::size_t i = 0; i < population; ++i) {
+    push(CalendarEntry{SimTime::millis(next_gap_ms(shape, rng)), seq, seq});
+    ++seq;
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const CalendarEntry entry = pop();
+    clock_ms = entry.time.as_millis();
+    push(CalendarEntry{SimTime::millis(clock_ms + next_gap_ms(shape, rng)), seq, seq});
+    ++seq;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - begin).count();
+}
+
+}  // namespace
+
+int main() {
+  p2ps::bench::print_title(
+      "Ablation — event-queue structure (binary heap vs calendar queue)",
+      "(substrate ablation; not in the paper)",
+      "calendar queue approaches O(1) per op on dense stationary workloads; "
+      "the heap's O(log n) is competitive at simulator-typical sizes, which "
+      "is why the Simulator defaults to it");
+
+  constexpr std::size_t kOps = 200'000;
+  p2ps::util::TextTable table({"workload", "population", "heap Mops/s",
+                               "calendar Mops/s", "calendar resizes"});
+  for (Shape shape : {Shape::kUniform, Shape::kBursty, Shape::kBimodal}) {
+    for (std::size_t population : {1'000ul, 10'000ul, 100'000ul}) {
+      auto compare = [](const CalendarEntry& a, const CalendarEntry& b) {
+        return b < a;
+      };
+      std::priority_queue<CalendarEntry, std::vector<CalendarEntry>,
+                          decltype(compare)>
+          heap(compare);
+      const double heap_us = hold_model(
+          shape, population, kOps,
+          [&](const CalendarEntry& entry) { heap.push(entry); },
+          [&] {
+            CalendarEntry entry = heap.top();
+            heap.pop();
+            return entry;
+          });
+
+      p2ps::sim::CalendarQueue calendar;
+      const double calendar_us = hold_model(
+          shape, population, kOps,
+          [&](const CalendarEntry& entry) { calendar.push(entry); },
+          [&] { return *calendar.pop(); });
+
+      table.new_row()
+          .add_cell(name(shape))
+          .add_cell(static_cast<long long>(population))
+          .add_cell(static_cast<double>(kOps) / heap_us, 2)
+          .add_cell(static_cast<double>(kOps) / calendar_us, 2)
+          .add_cell(static_cast<long long>(calendar.resizes()));
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every binary prints (a) what the paper reports, (b) the series/rows this
+// run produced, and (c) the qualitative expectation to check against the
+// paper — since our substrate parameters (arrival-pattern constants) are
+// reconstructions, shapes are comparable, absolute values only roughly.
+//
+// Environment: set P2PS_BENCH_SCALE=<divisor> (e.g. 10) to shrink the
+// population for quick runs; default is the paper's full 50,100 peers.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/streaming_system.hpp"
+#include "metrics/export.hpp"
+#include "util/table.hpp"
+
+namespace p2ps::bench {
+
+/// Population divisor from P2PS_BENCH_SCALE (default 1 = paper scale).
+inline std::int64_t scale_divisor() {
+  if (const char* env = std::getenv("P2PS_BENCH_SCALE")) {
+    const long long v = std::atoll(env);
+    if (v > 1) return v;
+  }
+  return 1;
+}
+
+/// The paper's Section 5.1 configuration, optionally scaled down.
+inline engine::SimulationConfig paper_config(workload::ArrivalPattern pattern,
+                                             bool differentiated,
+                                             std::uint64_t seed = 2002) {
+  engine::SimulationConfig config;
+  config.pattern = pattern;
+  config.protocol.differentiated = differentiated;
+  config.seed = seed;
+  // Invariant validation is exercised heavily in the test suite; benches
+  // favor throughput.
+  config.validate_invariants = false;
+  const std::int64_t divisor = scale_divisor();
+  if (divisor > 1) {
+    config.population.seeds = std::max<std::int64_t>(4, 100 / divisor);
+    config.population.requesters = 50'000 / divisor;
+  }
+  return config;
+}
+
+/// Directory for CSV/gnuplot exports, or empty when not requested.
+inline std::string csv_dir() {
+  if (const char* env = std::getenv("P2PS_BENCH_CSV")) return env;
+  return {};
+}
+
+/// When P2PS_BENCH_CSV is set, writes `<dir>/<figure>_<label>.csv` with the
+/// run's hourly series (plus `_favored.csv` when the run collected them).
+/// Returns the csv filename (relative to the dir) or empty.
+inline std::string maybe_export_csv(const std::string& figure, const std::string& label,
+                                    const engine::SimulationResult& result) {
+  const std::string dir = csv_dir();
+  if (dir.empty()) return {};
+  const std::string name = figure + "_" + label + ".csv";
+  std::ofstream hourly(dir + "/" + name);
+  metrics::write_hourly_csv(hourly, result.hourly, result.num_classes);
+  if (!result.favored.empty()) {
+    std::ofstream favored(dir + "/" + figure + "_" + label + "_favored.csv");
+    metrics::write_favored_csv(favored, result.favored, result.num_classes);
+  }
+  std::cout << "[csv] wrote " << dir << '/' << name << '\n';
+  return name;
+}
+
+/// When P2PS_BENCH_CSV is set, writes a gnuplot script plotting capacity
+/// (CSV column 2) for the given already-exported runs.
+inline void maybe_export_capacity_plot(const std::string& figure,
+                                       const std::vector<std::pair<std::string, std::string>>&
+                                           label_and_csv) {
+  const std::string dir = csv_dir();
+  if (dir.empty() || label_and_csv.empty()) return;
+  std::vector<metrics::PlotSeries> series;
+  for (const auto& [label, csv] : label_and_csv) {
+    series.push_back(metrics::PlotSeries{csv, label, 2});
+  }
+  std::ofstream script(dir + "/" + figure + ".gp");
+  metrics::write_gnuplot_script(script, figure, "Total system capacity",
+                                figure + ".png", series);
+  std::cout << "[csv] wrote " << dir << '/' << figure << ".gp\n";
+}
+
+inline void print_title(const std::string& title, const std::string& paper,
+                        const std::string& expectation) {
+  std::cout << "==================================================================\n"
+            << title << '\n'
+            << "------------------------------------------------------------------\n"
+            << "paper reports : " << paper << '\n'
+            << "expected shape: " << expectation << '\n';
+  if (scale_divisor() > 1) {
+    std::cout << "NOTE: running at 1/" << scale_divisor()
+              << " population scale (P2PS_BENCH_SCALE)\n";
+  }
+  std::cout << "==================================================================\n";
+}
+
+/// Prints one column per labelled run: capacity over time, every
+/// `step_hours`.
+inline void print_capacity_series(
+    const std::vector<std::pair<std::string, const engine::SimulationResult*>>& runs,
+    int step_hours = 8, int end_hour = 144) {
+  std::vector<std::string> headers{"hour"};
+  for (const auto& [label, result] : runs) headers.push_back(label);
+  util::TextTable table(headers);
+  for (int h = 0; h <= end_hour; h += step_hours) {
+    table.new_row().add_cell(static_cast<long long>(h));
+    for (const auto& [label, result] : runs) {
+      table.add_cell(static_cast<long long>(
+          result->capacity_at(util::SimTime::hours(h))));
+    }
+  }
+  table.print(std::cout);
+  for (const auto& [label, result] : runs) {
+    std::cout << label << ": final capacity " << result->final_capacity << " / max "
+              << result->max_capacity << " ("
+              << util::format_double(100.0 * static_cast<double>(result->final_capacity) /
+                                         static_cast<double>(result->max_capacity),
+                                     1)
+              << "% of all-suppliers maximum)\n";
+  }
+}
+
+/// Prints a per-class time series extracted from the hourly samples.
+template <typename Extractor>
+void print_per_class_series(const engine::SimulationResult& result,
+                            const std::string& value_name, Extractor extract,
+                            int step_hours = 8, int end_hour = 144) {
+  util::TextTable table({"hour", value_name + "-c1", value_name + "-c2",
+                         value_name + "-c3", value_name + "-c4"});
+  for (int h = 0; h <= end_hour; h += step_hours) {
+    const auto& sample = result.sample_at(util::SimTime::hours(h));
+    table.new_row().add_cell(static_cast<long long>(h));
+    for (core::PeerClass c = 1; c <= 4; ++c) {
+      const auto value = extract(sample.per_class[static_cast<std::size_t>(c - 1)]);
+      table.add_cell(value.has_value() ? util::format_double(*value, 2) : "-");
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace p2ps::bench

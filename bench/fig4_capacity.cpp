@@ -1,0 +1,39 @@
+// Figure 4 — system capacity amplification: DAC_p2p vs NDAC_p2p over
+// 144 hours, arrival patterns 2 and 4 (all four patterns printed).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using p2ps::bench::paper_config;
+  using p2ps::workload::ArrivalPattern;
+
+  p2ps::bench::print_title(
+      "Figure 4 — system capacity amplification (DAC_p2p vs NDAC_p2p)",
+      "DAC_p2p grows capacity significantly faster, especially in the first "
+      "72 h; by 144 h it reaches >= 95% of the all-suppliers maximum (7550)",
+      "DAC column dominates NDAC at every hour during the arrival window; "
+      "both flatten after 72 h when only retries remain");
+
+  for (ArrivalPattern pattern :
+       {ArrivalPattern::kRampUpDown, ArrivalPattern::kPeriodicBursts,
+        ArrivalPattern::kConstant, ArrivalPattern::kBurstThenConstant}) {
+    std::cout << "\n--- " << p2ps::workload::to_string(pattern) << " ---\n";
+    const auto dac =
+        p2ps::engine::StreamingSystem(paper_config(pattern, true)).run();
+    const auto ndac =
+        p2ps::engine::StreamingSystem(paper_config(pattern, false)).run();
+    p2ps::bench::print_capacity_series(
+        {{"DAC_p2p", &dac}, {"NDAC_p2p", &ndac}});
+
+    const std::string figure =
+        std::string("fig4_") + std::string(p2ps::workload::to_string(pattern));
+    const auto dac_csv = p2ps::bench::maybe_export_csv(figure, "dac", dac);
+    const auto ndac_csv = p2ps::bench::maybe_export_csv(figure, "ndac", ndac);
+    if (!dac_csv.empty()) {
+      p2ps::bench::maybe_export_capacity_plot(
+          figure, {{"DAC_p2p", dac_csv}, {"NDAC_p2p", ndac_csv}});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 7 — adaptivity of differentiation: the lowest requesting-peer
+// class favored by each class of supplying peers, sampled every 3 hours
+// (non-accumulative), under arrival pattern 4 (periodic bursts).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using p2ps::bench::paper_config;
+  using p2ps::workload::ArrivalPattern;
+
+  p2ps::bench::print_title(
+      "Figure 7 — lowest favored class per supplier class (pattern 4)",
+      "the degree of differentiation tracks the periodic request bursts; "
+      "higher-class suppliers react more sharply; once arrivals stop and "
+      "capacity is ample, every supplier class favors all classes (y = 4)",
+      "dips (tightening) aligned with the 12-hour bursts during the first "
+      "72 h; all series converge to 4 afterwards");
+
+  const auto dac = p2ps::engine::StreamingSystem(
+                       paper_config(ArrivalPattern::kPeriodicBursts, true))
+                       .run();
+
+  p2ps::util::TextTable table(
+      {"hour", "suppliers-c1", "suppliers-c2", "suppliers-c3", "suppliers-c4"});
+  for (const auto& sample : dac.favored) {
+    const auto hour = static_cast<long long>(sample.t.as_hours());
+    // Full 3-hour resolution during the arrival window (bursts every 12 h),
+    // sparser afterwards once the series has converged.
+    if (hour > 72 && hour % 12 != 0) continue;
+    table.new_row().add_cell(hour);
+    for (std::size_t cls = 0; cls < 4; ++cls) {
+      const double value = sample.avg_lowest_favored[cls];
+      table.add_cell(std::isnan(value) ? "-" : p2ps::util::format_double(value, 2));
+    }
+  }
+  table.print(std::cout);
+  p2ps::bench::maybe_export_csv("fig7", "dac_pattern4", dac);
+  return 0;
+}

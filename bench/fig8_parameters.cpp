@@ -1,0 +1,55 @@
+// Figure 8 — impact of the protocol parameters M (candidates probed per
+// attempt) and T_out (idle elevation timeout) on capacity amplification,
+// arrival pattern 2, DAC_p2p.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  using p2ps::bench::paper_config;
+  using p2ps::workload::ArrivalPattern;
+
+  p2ps::bench::print_title(
+      "Figure 8 — impact of M and T_out on capacity amplification",
+      "(a) M=4 grows much slower; raising M beyond 8 adds little. "
+      "(b) very short T_out (1-2 min) hurts: idle suppliers relax too soon "
+      "and miss higher-class requesters",
+      "capacity(M=4) << capacity(M=8) ~ capacity(M=16) ~ capacity(M=32); "
+      "capacity(T_out=1min) < capacity(T_out=20min)");
+
+  std::cout << "\n(a) impact of M\n";
+  {
+    std::vector<p2ps::engine::SimulationResult> results;
+    std::vector<std::pair<std::string, const p2ps::engine::SimulationResult*>> runs;
+    const std::size_t ms[] = {4, 8, 16, 32};
+    results.reserve(std::size(ms));
+    for (std::size_t m : ms) {
+      auto config = paper_config(ArrivalPattern::kRampUpDown, true);
+      config.protocol.m_candidates = m;
+      results.push_back(p2ps::engine::StreamingSystem(config).run());
+    }
+    for (std::size_t i = 0; i < std::size(ms); ++i) {
+      runs.emplace_back("M=" + std::to_string(ms[i]), &results[i]);
+    }
+    p2ps::bench::print_capacity_series(runs, 12);
+  }
+
+  std::cout << "\n(b) impact of T_out\n";
+  {
+    std::vector<p2ps::engine::SimulationResult> results;
+    std::vector<std::pair<std::string, const p2ps::engine::SimulationResult*>> runs;
+    const int t_outs[] = {1, 2, 20, 60, 120};
+    results.reserve(std::size(t_outs));
+    for (int minutes : t_outs) {
+      auto config = paper_config(ArrivalPattern::kRampUpDown, true);
+      config.protocol.t_out = p2ps::util::SimTime::minutes(minutes);
+      results.push_back(p2ps::engine::StreamingSystem(config).run());
+    }
+    for (std::size_t i = 0; i < std::size(t_outs); ++i) {
+      runs.emplace_back("T_out=" + std::to_string(t_outs[i]) + "min", &results[i]);
+    }
+    p2ps::bench::print_capacity_series(runs, 12);
+  }
+  return 0;
+}

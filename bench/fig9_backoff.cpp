@@ -1,0 +1,57 @@
+// Figure 9 — impact of the backoff exponential factor E_bkf on the overall
+// accumulative admission rate (pattern 2, DAC_p2p).
+//
+// The paper's counter-intuitive finding: in a *self-growing* system,
+// aggressive (constant) retry beats exponential backoff, because admitted
+// peers enlarge the capacity that serves everyone else.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  using p2ps::bench::paper_config;
+  using p2ps::workload::ArrivalPattern;
+
+  p2ps::bench::print_title(
+      "Figure 9 — impact of E_bkf on overall admission rate (pattern 2)",
+      "the higher E_bkf, the lower the overall admission rate; constant "
+      "backoff (E_bkf=1) is significantly better",
+      "rate(E_bkf=1) > rate(E_bkf=2) > rate(E_bkf=3) > rate(E_bkf=4) over "
+      "most of the run");
+
+  std::vector<p2ps::engine::SimulationResult> results;
+  const std::int64_t factors[] = {1, 2, 3, 4};
+  results.reserve(std::size(factors));
+  for (std::int64_t e_bkf : factors) {
+    auto config = paper_config(ArrivalPattern::kRampUpDown, true);
+    config.protocol.e_bkf = e_bkf;
+    results.push_back(p2ps::engine::StreamingSystem(config).run());
+  }
+
+  p2ps::util::TextTable table(
+      {"hour", "E_bkf=1 rate%", "E_bkf=2 rate%", "E_bkf=3 rate%", "E_bkf=4 rate%"});
+  for (int h = 0; h <= 144; h += 8) {
+    table.new_row().add_cell(static_cast<long long>(h));
+    for (const auto& result : results) {
+      const auto& sample = result.sample_at(p2ps::util::SimTime::hours(h));
+      p2ps::metrics::ClassCounters overall;
+      for (const auto& counters : sample.per_class) {
+        overall.first_requests += counters.first_requests;
+        overall.admissions += counters.admissions;
+      }
+      const auto rate = overall.admission_rate();
+      table.add_cell(rate ? p2ps::util::format_double(*rate * 100.0, 2) : "-");
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << '\n';
+  for (std::size_t i = 0; i < std::size(factors); ++i) {
+    std::cout << "E_bkf=" << factors[i]
+              << ": admissions=" << results[i].overall.admissions
+              << ", rejections=" << results[i].overall.rejections
+              << ", final capacity=" << results[i].final_capacity << '\n';
+  }
+  return 0;
+}

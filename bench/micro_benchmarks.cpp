@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// OTS assignment construction, event-queue throughput, lookup sampling and
+// Chord routing, and a full small-scale simulation.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/ots.hpp"
+#include "core/plan.hpp"
+#include "core/selection.hpp"
+#include "engine/streaming_system.hpp"
+#include "lookup/chord.hpp"
+#include "lookup/directory.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using p2ps::core::PeerClass;
+
+/// Supplier multiset with 2^(k-1) peers of class k... i.e. the widest
+/// session for a given lowest class: one class-1 peer plus (2^(c-1))
+/// class-c peers is awkward; instead use the uniform set: 2^c class-c
+/// peers, which sums to R0 exactly.
+std::vector<PeerClass> uniform_session(PeerClass c) {
+  return std::vector<PeerClass>(static_cast<std::size_t>(1) << c, c);
+}
+
+void BM_OtsAssignment(benchmark::State& state) {
+  const auto classes = uniform_session(static_cast<PeerClass>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p2ps::core::ots_assignment(classes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(classes.size()));
+}
+BENCHMARK(BM_OtsAssignment)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_OtsDelayComputation(benchmark::State& state) {
+  const auto classes = uniform_session(static_cast<PeerClass>(state.range(0)));
+  const auto assignment = p2ps::core::ots_assignment(classes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assignment.min_buffering_delay_dt());
+  }
+}
+BENCHMARK(BM_OtsDelayComputation)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GreedySelection(benchmark::State& state) {
+  p2ps::util::Rng rng(1);
+  std::vector<PeerClass> classes;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    classes.push_back(static_cast<PeerClass>(1 + rng.uniform_below(4)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p2ps::core::select_exact_cover(classes));
+  }
+}
+BENCHMARK(BM_GreedySelection)->Arg(8)->Arg(32);
+
+void BM_EventQueueScheduleExecute(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    p2ps::sim::Simulator simulator;
+    p2ps::util::Rng rng(7);
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      simulator.schedule_at(
+          p2ps::util::SimTime::millis(static_cast<std::int64_t>(rng.uniform_below(1'000'000))),
+          [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleExecute)->Arg(1'000)->Arg(100'000);
+
+void BM_DirectorySampling(benchmark::State& state) {
+  p2ps::lookup::DirectoryService directory;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    directory.register_supplier(p2ps::core::PeerId{static_cast<std::uint64_t>(i)},
+                                static_cast<PeerClass>(1 + i % 4));
+  }
+  p2ps::util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        directory.candidates(8, rng, p2ps::core::PeerId::invalid()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_DirectorySampling)->Arg(1'000)->Arg(50'000);
+
+void BM_ChordRoutedLookup(benchmark::State& state) {
+  p2ps::lookup::ChordLookup chord;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    chord.register_supplier(p2ps::core::PeerId{static_cast<std::uint64_t>(i)}, 1);
+  }
+  p2ps::util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chord.route(rng(), rng()));
+  }
+  state.counters["mean_hops"] = chord.stats().mean_hops();
+}
+BENCHMARK(BM_ChordRoutedLookup)->Arg(1'000)->Arg(10'000);
+
+void BM_ChordCandidateQuery(benchmark::State& state) {
+  p2ps::lookup::ChordLookup chord;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    chord.register_supplier(p2ps::core::PeerId{static_cast<std::uint64_t>(i)},
+                            static_cast<PeerClass>(1 + i % 4));
+  }
+  p2ps::util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chord.candidates(8, rng, p2ps::core::PeerId::invalid()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_ChordCandidateQuery)->Arg(1'000)->Arg(10'000);
+
+void BM_ZipfSampling(benchmark::State& state) {
+  const p2ps::workload::ZipfDistribution zipf(
+      static_cast<std::size_t>(state.range(0)), 1.0);
+  p2ps::util::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSampling)->Arg(100)->Arg(10'000);
+
+void BM_TransmissionPlanBuild(benchmark::State& state) {
+  const auto classes = uniform_session(4);  // 16 suppliers, window 16
+  const p2ps::media::MediaFile file(state.range(0), p2ps::util::SimTime::seconds(1));
+  const auto assignment = p2ps::core::ots_assignment(classes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p2ps::core::TransmissionPlan(file, assignment));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TransmissionPlanBuild)->Arg(3600);
+
+void BM_FullSimulationSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    p2ps::engine::SimulationConfig config;
+    config.population.seeds = 10;
+    config.population.requesters = static_cast<std::int64_t>(state.range(0));
+    config.pattern = p2ps::workload::ArrivalPattern::kRampUpDown;
+    config.arrival_window = p2ps::util::SimTime::hours(12);
+    config.horizon = p2ps::util::SimTime::hours(24);
+    config.validate_invariants = false;
+    benchmark::DoNotOptimize(p2ps::engine::StreamingSystem(config).run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FullSimulationSmall)->Arg(500)->Arg(2'000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Catalog — a media *library* served peer-to-peer (extension of the
+// paper's single popular video): 12 files with Zipf-distributed demand,
+// per-file supplier swarms, one DAC_p2p admission machinery per peer.
+//
+//   ./examples/catalog [--files N] [--skew S] [--requesters N] [--seed N]
+#include <iostream>
+#include <string>
+
+#include "engine/catalog_system.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using p2ps::util::SimTime;
+  const p2ps::util::Flags flags(argc, argv);
+
+  p2ps::engine::CatalogConfig config;
+  config.files = flags.get_int("files", 12);
+  config.zipf_skew = flags.get_double("skew", 1.0);
+  config.population.seeds = 3;  // seeds per file
+  config.population.requesters = flags.get_int("requesters", 4000);
+  config.pattern = p2ps::workload::ArrivalPattern::kRampUpDown;
+  config.arrival_window = SimTime::hours(24);
+  config.horizon = SimTime::hours(48);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 17));
+
+  std::cout << "A " << config.files << "-file library, "
+            << config.population.requesters << " requesting peers, demand ~ Zipf("
+            << config.zipf_skew << ").\n"
+            << "Each served requester becomes a supplier of the file it "
+               "watched.\n\n";
+
+  p2ps::engine::CatalogStreamingSystem system(config);
+  const auto result = system.run();
+
+  p2ps::util::TextTable table({"file (rank)", "requests", "admitted", "suppliers",
+                               "capacity", "demand share"});
+  for (const auto& stats : result.per_file) {
+    table.new_row()
+        .add_cell(static_cast<long long>(stats.file))
+        .add_cell(static_cast<long long>(stats.requests))
+        .add_cell(static_cast<long long>(stats.admissions))
+        .add_cell(static_cast<long long>(stats.suppliers))
+        .add_cell(static_cast<long long>(stats.capacity))
+        .add_cell(p2ps::util::format_double(
+                      100.0 * static_cast<double>(stats.requests) /
+                          static_cast<double>(config.population.requesters),
+                      1) +
+                  "%");
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSupply follows demand: the popular head of the catalog "
+               "amplifies its own\nswarm while the tail keeps only its seeds — "
+               "no central provisioning anywhere.\n"
+            << "Total capacity " << result.overall.final_capacity << " (max "
+            << result.overall.max_capacity << "), sessions completed "
+            << result.overall.sessions_completed << ".\n";
+  return 0;
+}

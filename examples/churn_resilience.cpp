@@ -1,0 +1,51 @@
+// Churn resilience — what happens when probed candidates are often
+// unreachable (paper Section 4.2 admission condition 1: candidates must be
+// "neither down nor busy").
+//
+//   ./examples/churn_resilience
+#include <iostream>
+
+#include "engine/streaming_system.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using p2ps::util::SimTime;
+
+  std::cout << "Sweeping the probability that a probed candidate is down.\n"
+               "1,000 requesters, 20 seeds, 24 h of arrivals, 48 h horizon.\n\n";
+
+  p2ps::util::TextTable table({"down prob", "admitted", "avg rejections",
+                               "avg wait (min)", "final capacity"});
+  for (double down : {0.0, 0.2, 0.4, 0.6}) {
+    p2ps::engine::SimulationConfig config;
+    config.population.seeds = 20;
+    config.population.requesters = 1000;
+    config.pattern = p2ps::workload::ArrivalPattern::kConstant;
+    config.arrival_window = SimTime::hours(24);
+    config.horizon = SimTime::hours(48);
+    config.peer_down_probability = down;
+    config.seed = 99;
+
+    const auto result = p2ps::engine::StreamingSystem(config).run();
+    const auto& overall = result.overall;
+    table.new_row()
+        .add_cell(down, 1)
+        .add_cell(static_cast<long long>(overall.admissions))
+        .add_cell(overall.admissions > 0
+                      ? p2ps::util::format_double(
+                            static_cast<double>(overall.rejections_before_admission_sum) /
+                                static_cast<double>(overall.admissions),
+                            2)
+                      : "-")
+        .add_cell(overall.mean_waiting_minutes()
+                      ? p2ps::util::format_double(*overall.mean_waiting_minutes(), 1)
+                      : "-")
+        .add_cell(static_cast<long long>(result.final_capacity));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe protocol degrades gracefully: rejections and waiting "
+               "grow with the\nfailure rate, but the self-growing capacity "
+               "still amplifies — retries find\nfresh candidates each time.\n";
+  return 0;
+}

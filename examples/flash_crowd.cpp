@@ -1,0 +1,51 @@
+// Flash crowd — how the two admission protocols cope with a burst of
+// demand hitting a young system (arrival pattern 3: 40% of all requests in
+// the first twelfth of the window).
+//
+//   ./examples/flash_crowd
+#include <iostream>
+
+#include "engine/streaming_system.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using p2ps::util::SimTime;
+
+  p2ps::engine::SimulationConfig config;
+  config.population.seeds = 20;
+  config.population.requesters = 5000;
+  config.pattern = p2ps::workload::ArrivalPattern::kBurstThenConstant;
+  config.arrival_window = SimTime::hours(36);
+  config.horizon = SimTime::hours(72);
+  config.seed = 7;
+
+  std::cout << "Flash crowd: 40% of 5,000 requests arrive in the first 3 hours;\n"
+               "only 20 seed suppliers exist. Comparing DAC_p2p vs NDAC_p2p.\n\n";
+
+  const auto dac = p2ps::engine::StreamingSystem(config).run();
+  const auto ndac = p2ps::engine::StreamingSystem(p2ps::engine::as_ndac(config)).run();
+
+  p2ps::util::TextTable table({"hour", "DAC capacity", "NDAC capacity",
+                               "DAC admitted", "NDAC admitted"});
+  for (int h = 0; h <= 72; h += 6) {
+    const auto& ds = dac.sample_at(SimTime::hours(h));
+    const auto& ns = ndac.sample_at(SimTime::hours(h));
+    std::int64_t dac_admitted = 0, ndac_admitted = 0;
+    for (const auto& counters : ds.per_class) dac_admitted += counters.admissions;
+    for (const auto& counters : ns.per_class) ndac_admitted += counters.admissions;
+    table.new_row()
+        .add_cell(static_cast<long long>(h))
+        .add_cell(static_cast<long long>(ds.capacity))
+        .add_cell(static_cast<long long>(ns.capacity))
+        .add_cell(static_cast<long long>(dac_admitted))
+        .add_cell(static_cast<long long>(ndac_admitted));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nDuring the crowd, DAC_p2p admits bandwidth-rich peers first; "
+               "each admitted\nclass-1/2 peer multiplies future capacity, so the "
+               "backlog drains faster.\n";
+  std::cout << "DAC final capacity " << dac.final_capacity << " vs NDAC "
+            << ndac.final_capacity << " (max " << dac.max_capacity << ").\n";
+  return 0;
+}

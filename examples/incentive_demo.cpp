@@ -1,0 +1,76 @@
+// Incentive demo — why peers should pledge their *true* out-bound
+// bandwidth under DAC_p2p (the paper's third headline claim).
+//
+// Runs the same community under DAC_p2p and NDAC_p2p and contrasts what a
+// bandwidth-rich peer experiences depending on its pledge: under DAC_p2p,
+// pledging high buys fewer rejections, shorter waits and lower buffering
+// delay; under NDAC_p2p the pledge buys nothing — so a selfish peer would
+// understate it.
+//
+//   ./examples/incentive_demo [--seed N]
+#include <iostream>
+
+#include "engine/streaming_system.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using p2ps::util::SimTime;
+  const p2ps::util::Flags flags(argc, argv);
+
+  p2ps::engine::SimulationConfig config;
+  config.population.seeds = 20;
+  config.population.requesters = 4000;
+  config.pattern = p2ps::workload::ArrivalPattern::kRampUpDown;
+  config.arrival_window = SimTime::hours(24);
+  config.horizon = SimTime::hours(48);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 12));
+
+  std::cout << "4,000 requesting peers; classes pledge R0/2, R0/4, R0/8, R0/16.\n"
+               "What does a peer's pledge buy it?\n\n";
+
+  const auto dac = p2ps::engine::StreamingSystem(config).run();
+  const auto ndac = p2ps::engine::StreamingSystem(p2ps::engine::as_ndac(config)).run();
+
+  const auto row = [](const p2ps::engine::SimulationResult& result, int cls) {
+    const auto& counters = result.totals[static_cast<std::size_t>(cls - 1)];
+    return std::tuple(counters.mean_rejections().value_or(0.0),
+                      counters.mean_waiting_minutes().value_or(0.0),
+                      counters.mean_delay_dt().value_or(0.0));
+  };
+
+  p2ps::util::TextTable table({"pledge (class)", "protocol", "avg rejections",
+                               "avg wait (min)", "avg delay (dt)"});
+  for (int cls = 1; cls <= 4; ++cls) {
+    const auto [dr, dw, dd] = row(dac, cls);
+    table.new_row()
+        .add_cell("R0/" + std::to_string(1 << cls) + " (c" + std::to_string(cls) + ")")
+        .add_cell("DAC_p2p")
+        .add_cell(dr, 2)
+        .add_cell(dw, 1)
+        .add_cell(dd, 2);
+  }
+  for (int cls = 1; cls <= 4; ++cls) {
+    const auto [nr, nw, nd] = row(ndac, cls);
+    table.new_row()
+        .add_cell("R0/" + std::to_string(1 << cls) + " (c" + std::to_string(cls) + ")")
+        .add_cell("NDAC_p2p")
+        .add_cell(nr, 2)
+        .add_cell(nw, 1)
+        .add_cell(nd, 2);
+  }
+  table.print(std::cout);
+
+  const auto [r1, w1, d1] = row(dac, 1);
+  const auto [r4, w4, d4] = row(dac, 4);
+  std::cout << "\nUnder DAC_p2p, pledging R0/2 instead of R0/16 cuts average "
+               "waiting from "
+            << p2ps::util::format_double(w4, 0) << " to "
+            << p2ps::util::format_double(w1, 0) << " minutes ("
+            << p2ps::util::format_double(w4 > 0 ? w4 / std::max(w1, 1e-9) : 0, 1)
+            << "x) and rejections from " << p2ps::util::format_double(r4, 2)
+            << " to " << p2ps::util::format_double(r1, 2)
+            << ".\nUnder NDAC_p2p the columns are flat — no reason to pledge "
+               "truthfully.\nDifferentiation is the incentive.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart — simulate a small peer-to-peer streaming community.
+//
+// Builds a 1,000-peer system (10 class-1 seeds owning a 60-minute video,
+// 990 requesters with the paper's 10/10/40/40 class mix), runs 48 simulated
+// hours under the DAC_p2p protocol, and prints how the community's
+// streaming capacity amplified itself.
+//
+//   ./examples/quickstart [--seed N] [--requesters N] [--hours N] [--ndac]
+#include <cstdlib>
+#include <iostream>
+
+#include "engine/streaming_system.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using p2ps::util::SimTime;
+  const p2ps::util::Flags flags(argc, argv);
+
+  p2ps::engine::SimulationConfig config;
+  config.population.seeds = 10;
+  config.population.requesters = flags.get_int("requesters", 990);
+  config.pattern = p2ps::workload::ArrivalPattern::kRampUpDown;
+  const std::int64_t hours = std::max<std::int64_t>(24, flags.get_int("hours", 48));
+  config.arrival_window = SimTime::hours(std::min<std::int64_t>(24, hours / 2));
+  config.horizon = SimTime::hours(hours);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.protocol.differentiated = !flags.get_bool("ndac", false);
+
+  std::cout << "Simulating " << (config.population.seeds + config.population.requesters)
+            << " peers for " << config.horizon.as_hours() << " simulated hours...\n\n";
+
+  p2ps::engine::StreamingSystem system(config);
+  const auto result = system.run();
+
+  std::cout << "Capacity amplification (sessions the community can serve "
+               "simultaneously):\n";
+  const std::int64_t step = std::max<std::int64_t>(1, hours / 8);
+  for (std::int64_t h = 0; h <= hours; h += step) {
+    const auto capacity = result.capacity_at(SimTime::hours(h));
+    std::cout << "  t=" << h << "h  capacity=" << capacity << "  ";
+    for (std::int64_t i = 0; i < capacity / 2; ++i) std::cout << '#';
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+  p2ps::engine::print_summary(std::cout, result);
+
+  std::cout << "\nInterpretation: requesting peers that finished streaming "
+               "became suppliers,\ngrowing capacity from "
+            << result.hourly.front().capacity << " to " << result.final_capacity
+            << " (max possible " << result.max_capacity
+            << "). Higher classes were\nadmitted faster and with lower "
+               "buffering delay — the DAC_p2p incentive.\n";
+  return 0;
+}

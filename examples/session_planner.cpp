@@ -1,0 +1,108 @@
+// Session planner — use OTS_p2p directly to plan one streaming session.
+//
+// Pass the supplier classes on the command line (offers are R0/2^class and
+// must sum to exactly R0); prints the optimal segment assignment, an ASCII
+// transmission/playback timeline like the paper's Figure 1, and compares
+// with the naive contiguous assignment.
+//
+//   ./examples/session_planner 1 2 3 3
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/ots.hpp"
+#include "core/session_runtime.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using p2ps::core::PeerClass;
+using p2ps::core::SegmentAssignment;
+using p2ps::util::SimTime;
+
+void print_timeline(const SegmentAssignment& assignment) {
+  const std::int64_t window = assignment.window_size();
+  // One row per supplier: when each assigned segment finishes transmitting.
+  for (std::size_t i = 0; i < assignment.supplier_count(); ++i) {
+    const auto segments = assignment.segments_of(i);
+    std::string row(static_cast<std::size_t>(window) * 3, ' ');
+    for (std::size_t j = 0; j < segments.size(); ++j) {
+      const auto finish =
+          assignment.finish_time(i, j, SimTime::seconds(1)).as_millis() / 1000;
+      const auto column = static_cast<std::size_t>(finish - 1) * 3;
+      const std::string label = std::to_string(segments[j]);
+      for (std::size_t k = 0; k < label.size() && column + k < row.size(); ++k) {
+        row[column + k] = label[k];
+      }
+    }
+    std::cout << "  Ps" << (i + 1) << " |" << row << "|\n";
+  }
+  std::cout << "       ";
+  for (std::int64_t t = 1; t <= window; ++t) {
+    std::string tick = std::to_string(t);
+    tick.resize(3, ' ');
+    std::cout << tick;
+  }
+  std::cout << " (time, x dt; numbers show segment completion)\n";
+}
+
+void describe(const std::string& name, const SegmentAssignment& assignment) {
+  std::cout << '\n' << name << ":\n";
+  for (std::size_t i = 0; i < assignment.supplier_count(); ++i) {
+    std::cout << "  Ps" << (i + 1) << " (class " << assignment.supplier_class(i)
+              << ", offer R0/" << (1 << assignment.supplier_class(i)) << "): segments";
+    for (std::int64_t s : assignment.segments_of(i)) std::cout << ' ' << s;
+    std::cout << '\n';
+  }
+  print_timeline(assignment);
+  std::cout << "  buffering delay: " << assignment.min_buffering_delay_dt()
+            << " x dt\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<PeerClass> classes;
+  for (int i = 1; i < argc; ++i) {
+    classes.push_back(static_cast<PeerClass>(std::atoi(argv[i])));
+  }
+  if (classes.empty()) classes = {1, 2, 3, 3};  // the paper's Figure 1 set
+
+  std::cout << "Planning a session with " << classes.size() << " suppliers (classes:";
+  for (PeerClass c : classes) std::cout << ' ' << c;
+  std::cout << ")\n";
+
+  if (!p2ps::core::offers_sum_to_r0(classes)) {
+    const auto total = p2ps::core::total_offer(classes);
+    std::cerr << "error: offers sum to " << total.as_fraction_of_r0()
+              << " x R0 — OTS_p2p requires exactly 1 x R0.\n"
+              << "hint: class c contributes R0/2^c; e.g. \"1 2 3 3\" or \"1 1\".\n";
+    return 1;
+  }
+
+  describe("OTS_p2p (optimal)", p2ps::core::ots_assignment(classes));
+  describe("Contiguous baseline", p2ps::core::contiguous_assignment(classes));
+
+  std::cout << "\nTheorem 1: minimum possible delay = N x dt = " << classes.size()
+            << " x dt. OTS_p2p achieves it.\n";
+
+  // Prove it live: execute a 3-window session on the event loop at exactly
+  // the Theorem-1 delay and report playback health.
+  const auto n = static_cast<std::int64_t>(classes.size());
+  p2ps::sim::Simulator simulator;
+  p2ps::core::TransmissionPlan plan(
+      p2ps::media::MediaFile(
+          3 * p2ps::core::assignment_window(classes), SimTime::seconds(1)),
+      p2ps::core::ots_assignment(classes));
+  p2ps::core::SessionRuntime runtime(simulator, std::move(plan),
+                                     SimTime::seconds(1) * n);
+  runtime.start();
+  simulator.run();
+  const auto& report = runtime.report();
+  std::cout << "\nExecuted a 3-window session at delay " << n << " x dt: "
+            << report.segments_played << " segments played, " << report.stalls
+            << " stalls" << (report.stall_free() ? " — continuous playback." : "!")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "core/admission/probability_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace p2ps::core {
+
+AdmissionProbabilityVector::AdmissionProbabilityVector(PeerClass num_classes,
+                                                       PeerClass own_class) {
+  require_valid_class(own_class, num_classes);
+  exponents_.resize(static_cast<std::size_t>(num_classes));
+  for (PeerClass c = 1; c <= num_classes; ++c) {
+    exponents_[static_cast<std::size_t>(c - 1)] = std::max(0, c - own_class);
+  }
+}
+
+AdmissionProbabilityVector AdmissionProbabilityVector::all_ones(PeerClass num_classes) {
+  P2PS_REQUIRE(num_classes >= 1 && num_classes <= kMaxSupportedClasses);
+  return AdmissionProbabilityVector(
+      std::vector<std::int32_t>(static_cast<std::size_t>(num_classes), 0));
+}
+
+double AdmissionProbabilityVector::probability(PeerClass c) const {
+  return std::ldexp(1.0, -exponent(c));
+}
+
+std::int32_t AdmissionProbabilityVector::exponent(PeerClass c) const {
+  require_valid_class(c, num_classes());
+  return exponents_[static_cast<std::size_t>(c - 1)];
+}
+
+PeerClass AdmissionProbabilityVector::lowest_favored_class() const {
+  PeerClass lowest = kHighestClass;
+  for (PeerClass c = 1; c <= num_classes(); ++c) {
+    if (favors(c)) lowest = c;
+  }
+  return lowest;
+}
+
+void AdmissionProbabilityVector::elevate() {
+  for (auto& e : exponents_) e = std::max(0, e - 1);
+}
+
+void AdmissionProbabilityVector::tighten_to(PeerClass k_hat) {
+  require_valid_class(k_hat, num_classes());
+  for (PeerClass c = 1; c <= num_classes(); ++c) {
+    exponents_[static_cast<std::size_t>(c - 1)] = std::max(0, c - k_hat);
+  }
+}
+
+bool AdmissionProbabilityVector::fully_relaxed() const {
+  return std::all_of(exponents_.begin(), exponents_.end(),
+                     [](std::int32_t e) { return e == 0; });
+}
+
+std::ostream& operator<<(std::ostream& os, const AdmissionProbabilityVector& v) {
+  os << '[';
+  for (PeerClass c = 1; c <= v.num_classes(); ++c) {
+    if (c > 1) os << ", ";
+    os << v.probability(c);
+  }
+  return os << ']';
+}
+
+}  // namespace p2ps::core

@@ -1,0 +1,70 @@
+// Per-class admission-probability vector (paper Section 4.1).
+//
+// A class-κ supplying peer grants a class-j request with probability P[j]:
+//   init:     P[j] = 1.0 for j ≤ κ,  P[j] = 2^-(j-κ) for j > κ
+//   elevate:  every entry < 1 doubles (idle timeout / quiet session end)
+//   tighten:  reset to the class-k̂ profile after favored-class reminders
+//
+// All probabilities are exact powers of two; we store the negated exponent
+// (P[j] = 2^-exp[j]) so the dynamics are integer arithmetic with no float
+// drift, and "favored" (P == 1.0) is an exact test.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/peer_class.hpp"
+
+namespace p2ps::core {
+
+class AdmissionProbabilityVector {
+ public:
+  /// Initial profile of a class-`own_class` supplier in a K-class system.
+  AdmissionProbabilityVector(PeerClass num_classes, PeerClass own_class);
+
+  /// The NDAC_p2p vector: every class admitted with probability 1.0.
+  [[nodiscard]] static AdmissionProbabilityVector all_ones(PeerClass num_classes);
+
+  [[nodiscard]] PeerClass num_classes() const {
+    return static_cast<PeerClass>(exponents_.size());
+  }
+
+  /// P[c] as a double (exactly representable: a power of two).
+  [[nodiscard]] double probability(PeerClass c) const;
+
+  /// The stored exponent e with P[c] = 2^-e.
+  [[nodiscard]] std::int32_t exponent(PeerClass c) const;
+
+  /// Class c is *favored* iff P[c] == 1.0.
+  [[nodiscard]] bool favors(PeerClass c) const { return exponent(c) == 0; }
+
+  /// The lowest favored class (largest class index with P == 1.0). At least
+  /// one class is always favored (class 1 by construction).
+  [[nodiscard]] PeerClass lowest_favored_class() const;
+
+  /// Doubles every probability below 1.0 (capped at 1.0) — the relaxation
+  /// applied after an idle timeout or a session with no favored-class
+  /// requests.
+  void elevate();
+
+  /// Resets to the profile of a class-`k_hat` peer — the tightening applied
+  /// when favored-class requesters left reminders; k̂ is the highest such
+  /// class.
+  void tighten_to(PeerClass k_hat);
+
+  /// True when every class is favored (vector fully relaxed to all ones).
+  [[nodiscard]] bool fully_relaxed() const;
+
+  friend bool operator==(const AdmissionProbabilityVector&,
+                         const AdmissionProbabilityVector&) = default;
+
+ private:
+  explicit AdmissionProbabilityVector(std::vector<std::int32_t> exponents)
+      : exponents_(std::move(exponents)) {}
+  std::vector<std::int32_t> exponents_;  // P[c] = 2^-exponents_[c-1]
+};
+
+std::ostream& operator<<(std::ostream& os, const AdmissionProbabilityVector& v);
+
+}  // namespace p2ps::core

@@ -1,0 +1,71 @@
+#include "core/admission/requester.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace p2ps::core {
+
+namespace {
+/// Saturating power: t_bkf * e_bkf^exp without overflow (caps at ~292 years
+/// of simulated time, far beyond any run length).
+util::SimTime scaled_backoff(util::SimTime t_bkf, std::int64_t e_bkf, std::int64_t exp) {
+  constexpr std::int64_t kCapMs = std::int64_t{1} << 53;
+  std::int64_t ms = t_bkf.as_millis();
+  for (std::int64_t i = 0; i < exp; ++i) {
+    if (ms > kCapMs / e_bkf) return util::SimTime::millis(kCapMs);
+    ms *= e_bkf;
+  }
+  return util::SimTime::millis(ms);
+}
+}  // namespace
+
+RequesterBackoff::RequesterBackoff(util::SimTime t_bkf, std::int64_t e_bkf)
+    : t_bkf_(t_bkf), e_bkf_(e_bkf) {
+  P2PS_REQUIRE(t_bkf > util::SimTime::zero());
+  P2PS_REQUIRE(e_bkf >= 1);
+}
+
+util::SimTime RequesterBackoff::on_rejected() {
+  ++rejections_;
+  const util::SimTime backoff = scaled_backoff(t_bkf_, e_bkf_, rejections_ - 1);
+  total_waiting_ += backoff;
+  return backoff;
+}
+
+util::SimTime RequesterBackoff::waiting_time_for(std::int64_t rejections,
+                                                 util::SimTime t_bkf, std::int64_t e_bkf) {
+  P2PS_REQUIRE(rejections >= 0);
+  util::SimTime total = util::SimTime::zero();
+  for (std::int64_t r = 1; r <= rejections; ++r) {
+    total += scaled_backoff(t_bkf, e_bkf, r - 1);
+  }
+  return total;
+}
+
+std::vector<std::size_t> reminder_set(std::span<const BusyCandidate> busy_candidates,
+                                      Bandwidth shortfall) {
+  P2PS_REQUIRE(shortfall >= Bandwidth::zero());
+  std::vector<std::size_t> order(busy_candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return busy_candidates[a].cls < busy_candidates[b].cls;
+  });
+
+  std::vector<std::size_t> omega;
+  Bandwidth need = shortfall;
+  for (std::size_t i : order) {
+    if (need == Bandwidth::zero()) break;
+    const BusyCandidate& candidate = busy_candidates[i];
+    if (!candidate.favors_requester) continue;
+    const Bandwidth offer = Bandwidth::class_offer(candidate.cls);
+    if (offer <= need) {
+      omega.push_back(candidate.index);
+      need -= offer;
+    }
+  }
+  return omega;
+}
+
+}  // namespace p2ps::core

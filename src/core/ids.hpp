@@ -1,0 +1,16 @@
+// Shared strongly-typed identifiers for peers and sessions.
+#pragma once
+
+#include "util/strong_id.hpp"
+
+namespace p2ps::core {
+
+struct PeerIdTag {};
+/// Identifies one peer for the lifetime of a simulation.
+using PeerId = util::StrongId<PeerIdTag>;
+
+struct SessionIdTag {};
+/// Identifies one peer-to-peer streaming session.
+using SessionId = util::StrongId<SessionIdTag>;
+
+}  // namespace p2ps::core

@@ -1,0 +1,33 @@
+// Peer classes (paper Section 2, assumption 3).
+//
+// Peers are partitioned into classes 1..K by the out-bound bandwidth they
+// pledge: a class-i peer offers R0 / 2^i, where R0 is the media playback
+// rate. Class 1 is the *highest* class (largest offer); class K the lowest.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace p2ps::core {
+
+/// A peer class index in [1, K]. Smaller value = higher class.
+using PeerClass = std::int32_t;
+
+/// Highest possible class (offers R0/2).
+inline constexpr PeerClass kHighestClass = 1;
+
+/// Upper bound on K supported by the exact bandwidth representation.
+inline constexpr PeerClass kMaxSupportedClasses = 30;
+
+/// Validates a class index against a system with `num_classes` classes.
+inline void require_valid_class(PeerClass c, PeerClass num_classes) {
+  P2PS_REQUIRE_MSG(num_classes >= 1 && num_classes <= kMaxSupportedClasses,
+                   "number of classes out of supported range");
+  P2PS_REQUIRE_MSG(c >= kHighestClass && c <= num_classes, "peer class out of range");
+}
+
+/// True when `a` is a strictly higher class (larger offer) than `b`.
+[[nodiscard]] inline constexpr bool higher_class(PeerClass a, PeerClass b) { return a < b; }
+
+}  // namespace p2ps::core

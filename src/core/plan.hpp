@@ -1,0 +1,70 @@
+// Whole-file transmission planning on top of OTS_p2p.
+//
+// The assignment of Section 3 covers one window of W = 2^k segments and
+// "repeats itself every W segments for the rest of the media file". A real
+// media file need not be a multiple of W segments long; this module expands
+// the per-window assignment into the complete, per-supplier transmission
+// timetable including the final partial window, and exposes the exact
+// buffering delay of the whole file. Truncating the last window only makes
+// arrivals earlier, so Theorem 1's N·Δt remains an upper bound — and the
+// exact delay equals N·Δt whenever the file spans at least one full window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ots.hpp"
+#include "media/media_file.hpp"
+#include "media/playback_buffer.hpp"
+
+namespace p2ps::core {
+
+/// One segment's transmission: by whom and when (relative to session start).
+struct PlannedTransmission {
+  std::int64_t segment = 0;
+  std::int32_t supplier = 0;
+  util::SimTime start;
+  util::SimTime finish;
+};
+
+class TransmissionPlan {
+ public:
+  /// Expands `assignment` over all of `file`. The file's segment duration
+  /// is the Δt used for transmission times.
+  TransmissionPlan(const media::MediaFile& file, SegmentAssignment assignment);
+
+  [[nodiscard]] const media::MediaFile& file() const { return file_; }
+  [[nodiscard]] const SegmentAssignment& assignment() const { return assignment_; }
+
+  /// All transmissions, sorted by segment index. Covers every segment of
+  /// the file exactly once.
+  [[nodiscard]] std::span<const PlannedTransmission> transmissions() const {
+    return transmissions_;
+  }
+
+  /// When the last byte of the file finishes transmitting.
+  [[nodiscard]] util::SimTime completion_time() const;
+
+  /// Exact minimum buffering delay for stall-free playback of the whole
+  /// file (≤ Theorem 1's N·Δt; equal once the file spans a full window).
+  [[nodiscard]] util::SimTime buffering_delay() const;
+
+  /// Total playback span: buffering delay + show time.
+  [[nodiscard]] util::SimTime total_viewing_time() const {
+    return buffering_delay() + file_.show_time();
+  }
+
+  /// Segments carried by supplier `i` across the whole file.
+  [[nodiscard]] std::int64_t segments_of_supplier(std::size_t i) const;
+
+  /// Materializes the arrival times into a playback buffer (tests/tools).
+  [[nodiscard]] media::PlaybackBuffer to_buffer() const;
+
+ private:
+  media::MediaFile file_;
+  SegmentAssignment assignment_;
+  std::vector<PlannedTransmission> transmissions_;  // sorted by segment
+};
+
+}  // namespace p2ps::core

@@ -1,0 +1,90 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace p2ps::core {
+
+SelectionResult select_exact_cover(std::span<const PeerClass> classes, Bandwidth target) {
+  P2PS_REQUIRE(target >= Bandwidth::zero());
+  std::vector<std::size_t> order(classes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return classes[a] < classes[b]; });
+
+  SelectionResult result;
+  Bandwidth need = target;
+  for (std::size_t i : order) {
+    if (need == Bandwidth::zero()) break;
+    const Bandwidth offer = Bandwidth::class_offer(classes[i]);
+    if (offer <= need) {
+      result.chosen.push_back(i);
+      need -= offer;
+    }
+  }
+  result.shortfall = need;
+  return result;
+}
+
+SelectionResult select_max_cardinality_cover(std::span<const PeerClass> classes,
+                                             Bandwidth target) {
+  P2PS_REQUIRE(target >= Bandwidth::zero());
+  std::vector<std::size_t> order(classes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return classes[a] > classes[b]; });
+
+  SelectionResult result;
+  Bandwidth need = target;
+  for (std::size_t i : order) {
+    if (need == Bandwidth::zero()) break;
+    const Bandwidth offer = Bandwidth::class_offer(classes[i]);
+    if (offer <= need) {
+      result.chosen.push_back(i);
+      need -= offer;
+    }
+  }
+  if (need != Bandwidth::zero()) {
+    // Ascending greedy is not exact (e.g. offers {1/4, 1/2, 1/2} for target
+    // 1): fall back to the exact policy so admission never regresses.
+    return select_exact_cover(classes, target);
+  }
+  result.shortfall = need;
+  return result;
+}
+
+bool subset_sum_exists(std::span<const PeerClass> classes, Bandwidth target) {
+  P2PS_REQUIRE_MSG(classes.size() <= 24, "exhaustive check limited to small inputs");
+  const std::size_t n = classes.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    Bandwidth sum = Bandwidth::zero();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) sum += Bandwidth::class_offer(classes[i]);
+    }
+    if (sum == target) return true;
+  }
+  return false;
+}
+
+std::optional<std::size_t> min_exact_cover_size(std::span<const PeerClass> classes,
+                                                Bandwidth target) {
+  P2PS_REQUIRE_MSG(classes.size() <= 24, "exhaustive check limited to small inputs");
+  const std::size_t n = classes.size();
+  std::optional<std::size_t> best;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    Bandwidth sum = Bandwidth::zero();
+    std::size_t bits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        sum += Bandwidth::class_offer(classes[i]);
+        ++bits;
+      }
+    }
+    if (sum == target && (!best || bits < *best)) best = bits;
+  }
+  return best;
+}
+
+}  // namespace p2ps::core

@@ -1,0 +1,200 @@
+#include "engine/async_system.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+#include "workload/arrival_pattern.hpp"
+
+namespace p2ps::engine {
+
+AsyncStreamingSystem::AsyncStreamingSystem(AsyncSimulationConfig config)
+    : config_(std::move(config)),
+      transport_(simulator_, config_.transport,
+                 util::Rng(config_.seed).substream("transport")),
+      metrics_(config_.protocol.num_classes) {
+  workload::validate(config_.population);
+  P2PS_REQUIRE(config_.population.num_classes == config_.protocol.num_classes);
+  P2PS_REQUIRE(config_.protocol.m_candidates > 0);
+  P2PS_REQUIRE(config_.arrival_window > util::SimTime::zero());
+  P2PS_REQUIRE(config_.horizon >= config_.arrival_window);
+  P2PS_REQUIRE(config_.session_duration > util::SimTime::zero());
+  P2PS_REQUIRE_MSG(config_.hold_timeout > config_.response_timeout,
+                   "holds must outlive the requester's response timeout, or "
+                   "commits would race their own expiry");
+
+  util::Rng master(config_.seed);
+  lookup_rng_ = master.substream("lookup");
+  endpoint_seed_rng_ = master.substream("endpoint-seeds");
+  util::Rng population_rng = master.substream("population");
+
+  const auto requester_classes =
+      workload::build_requester_classes(config_.population, population_rng);
+  peers_.resize(static_cast<std::size_t>(config_.population.seeds) +
+                requester_classes.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    Peer& p = peers_[i];
+    p.id = core::PeerId{i};
+    if (i < static_cast<std::size_t>(config_.population.seeds)) {
+      p.cls = config_.population.seed_class;
+    } else {
+      p.cls = requester_classes[i - static_cast<std::size_t>(config_.population.seeds)];
+      p.backoff.emplace(config_.protocol.t_bkf, config_.protocol.e_bkf);
+    }
+  }
+}
+
+AsyncStreamingSystem::Peer& AsyncStreamingSystem::peer(core::PeerId id) {
+  P2PS_REQUIRE(id.valid() && id.value() < peers_.size());
+  return peers_[static_cast<std::size_t>(id.value())];
+}
+
+std::int64_t AsyncStreamingSystem::capacity() const {
+  return core::capacity(supplier_bandwidth_);
+}
+
+std::int64_t AsyncStreamingSystem::busy_suppliers() const {
+  std::int64_t busy = 0;
+  for (const Peer& p : peers_) {
+    if (p.endpoint && p.endpoint->in_session()) ++busy;
+  }
+  return busy;
+}
+
+void AsyncStreamingSystem::make_supplier(Peer& p) {
+  P2PS_CHECK(!p.endpoint);
+  net::SupplierEndpoint::Config endpoint_config;
+  endpoint_config.num_classes = config_.protocol.num_classes;
+  endpoint_config.differentiated = config_.protocol.differentiated;
+  endpoint_config.hold_timeout = config_.hold_timeout;
+  endpoint_config.t_out = config_.protocol.t_out;
+  // Self-recovery if a teardown message is lost: a session cannot engage a
+  // supplier for much longer than the show time plus control slack.
+  endpoint_config.session_watchdog =
+      config_.session_duration + 4 * config_.hold_timeout;
+  p.endpoint = std::make_unique<net::SupplierEndpoint>(
+      p.id, p.cls, endpoint_config, simulator_, transport_,
+      util::Rng(endpoint_seed_rng_()));
+  directory_.register_supplier(p.id, p.cls);
+  supplier_bandwidth_ += core::Bandwidth::class_offer(p.cls);
+  ++suppliers_;
+}
+
+void AsyncStreamingSystem::first_request(core::PeerId id) {
+  Peer& p = peer(id);
+  p.first_request_time = simulator_.now();
+  metrics_.on_first_request(p.cls);
+  start_attempt(id);
+}
+
+void AsyncStreamingSystem::start_attempt(core::PeerId id) {
+  Peer& p = peer(id);
+  P2PS_CHECK(!p.admitted && !p.endpoint);
+  P2PS_CHECK_MSG(!attempts_.contains(id), "overlapping attempts for one peer");
+  metrics_.on_attempt(p.cls);
+
+  auto candidates =
+      directory_.candidates(config_.protocol.m_candidates, lookup_rng_, p.id);
+
+  net::AsyncAdmissionAttempt::Config attempt_config;
+  attempt_config.response_timeout = config_.response_timeout;
+  attempt_config.reminders_enabled =
+      config_.protocol.differentiated && config_.protocol.reminders_enabled;
+
+  const core::SessionId session{next_session_++};
+  auto attempt = std::make_unique<net::AsyncAdmissionAttempt>(
+      p.id, p.cls, session, std::move(candidates), attempt_config, simulator_,
+      transport_,
+      [this, id](const net::AsyncAdmissionAttempt::Result& result) {
+        on_attempt_done(id, result);
+      });
+  net::AsyncAdmissionAttempt* raw = attempt.get();
+  attempts_.emplace(id, std::move(attempt));
+  raw->start();
+}
+
+void AsyncStreamingSystem::on_attempt_done(
+    core::PeerId id, const net::AsyncAdmissionAttempt::Result& result) {
+  Peer& p = peer(id);
+
+  // The attempt object is still on the call stack (this is its completion
+  // callback); destroy it one event later.
+  simulator_.schedule_after(util::SimTime::zero(), [this, id] {
+    attempts_.erase(id);
+  });
+
+  if (result.admitted) {
+    p.admitted = true;
+    ++sessions_active_;
+    metrics_.on_admission(p.cls, p.backoff->rejections(), result.buffering_delay_dt,
+                          simulator_.now() - p.first_request_time);
+    simulator_.schedule_after(
+        config_.session_duration,
+        [this, id, suppliers = result.suppliers, session = result.session] {
+          finish_session(id, suppliers, session);
+        });
+    return;
+  }
+
+  metrics_.on_rejection(p.cls);
+  const util::SimTime backoff = p.backoff->on_rejected();
+  simulator_.schedule_after(backoff, [this, id] { start_attempt(id); });
+}
+
+void AsyncStreamingSystem::finish_session(core::PeerId requester_id,
+                                          std::vector<lookup::CandidateInfo> suppliers,
+                                          core::SessionId session) {
+  // Tear down: one EndSession per supplier (loss is survivable — each
+  // endpoint also runs a session watchdog).
+  for (const auto& supplier : suppliers) {
+    transport_.send(requester_id, supplier.id, net::EndSession{session});
+  }
+  --sessions_active_;
+  ++sessions_completed_;
+  // Play-while-downloading: the requester now owns the file and supplies.
+  make_supplier(peer(requester_id));
+}
+
+void AsyncStreamingSystem::take_sample(util::SimTime t) {
+  metrics_.hourly_sample(t, capacity(), sessions_active_, suppliers_);
+}
+
+SimulationResult AsyncStreamingSystem::run() {
+  P2PS_REQUIRE_MSG(!ran_, "run() may be called only once");
+  ran_ = true;
+
+  for (std::int64_t i = 0; i < config_.population.seeds; ++i) {
+    make_supplier(peers_[static_cast<std::size_t>(i)]);
+  }
+
+  const auto schedule = workload::ArrivalSchedule::make(
+      config_.pattern, config_.population.requesters, config_.arrival_window);
+  const auto& times = schedule.times();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const core::PeerId id{static_cast<std::uint64_t>(config_.population.seeds) + i};
+    simulator_.schedule_at(times[i], [this, id] { first_request(id); });
+  }
+
+  take_sample(util::SimTime::zero());
+  sim::Periodic sampler(simulator_, config_.sample_interval, config_.sample_interval,
+                        [this](util::SimTime t) { take_sample(t); });
+  simulator_.run_until(config_.horizon);
+  sampler.stop();
+
+  SimulationResult result;
+  result.num_classes = config_.protocol.num_classes;
+  result.hourly = metrics_.hourly();
+  result.favored = metrics_.favored();
+  for (core::PeerClass c = 1; c <= config_.protocol.num_classes; ++c) {
+    result.totals.push_back(metrics_.totals(c));
+  }
+  result.overall = metrics_.overall();
+  result.final_capacity = capacity();
+  result.max_capacity = workload::max_possible_capacity(config_.population);
+  result.suppliers_at_end = suppliers_;
+  result.sessions_completed = sessions_completed_;
+  result.sessions_active_at_end = sessions_active_;
+  result.events_executed = simulator_.executed_count();
+  return result;
+}
+
+}  // namespace p2ps::engine

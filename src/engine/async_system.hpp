@@ -1,0 +1,115 @@
+// Message-level (asynchronous) streaming-system simulator.
+//
+// The same peer-to-peer community as engine::StreamingSystem, but every
+// control exchange travels over net::Transport with latency and optional
+// loss: probes, grants (with timeout-guarded holds), commits, releases,
+// reminders and session teardowns are all messages, and every peer decision
+// is taken locally on message receipt. This is the existence proof that
+// DAC_p2p is a *distributed* protocol — no step consults global state.
+//
+// Fault tolerance under message loss:
+//   * unresponsive candidates are written off by the requester's response
+//     timeout;
+//   * un-committed grants expire via the supplier-side hold timeout;
+//   * a lost EndSession is recovered by the supplier's session watchdog.
+// Known simplification (documented): StartSession commits are not
+// acknowledged, so under loss a requester may count a supplier that never
+// committed; the watchdog still frees all state. The session-level engine
+// (paper fidelity) has no such races.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/admission/requester.hpp"
+#include "core/bandwidth.hpp"
+#include "core/ids.hpp"
+#include "engine/config.hpp"
+#include "engine/result.hpp"
+#include "lookup/directory.hpp"
+#include "metrics/collector.hpp"
+#include "net/async_admission.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace p2ps::engine {
+
+struct AsyncSimulationConfig {
+  ProtocolParams protocol;
+  workload::PopulationConfig population;
+
+  workload::ArrivalPattern pattern = workload::ArrivalPattern::kRampUpDown;
+  util::SimTime arrival_window = util::SimTime::hours(12);
+  util::SimTime horizon = util::SimTime::hours(24);
+  util::SimTime session_duration = util::SimTime::minutes(60);
+
+  net::TransportConfig transport;
+  /// Requester-side probe-response timeout.
+  util::SimTime response_timeout = util::SimTime::seconds(5);
+  /// Supplier-side grant-hold timeout (must exceed response_timeout).
+  util::SimTime hold_timeout = util::SimTime::seconds(15);
+
+  std::uint64_t seed = 42;
+  util::SimTime sample_interval = util::SimTime::hours(1);
+};
+
+class AsyncStreamingSystem {
+ public:
+  explicit AsyncStreamingSystem(AsyncSimulationConfig config);
+
+  /// Runs to the horizon; may be called once.
+  SimulationResult run();
+
+  [[nodiscard]] const AsyncSimulationConfig& config() const { return config_; }
+  [[nodiscard]] std::int64_t capacity() const;
+  [[nodiscard]] std::int64_t supplier_count() const { return suppliers_; }
+  [[nodiscard]] const net::MessageTransport& transport() const { return transport_; }
+  [[nodiscard]] const metrics::MetricsCollector& metrics() const { return metrics_; }
+  /// Suppliers currently serving a session (from endpoint state).
+  [[nodiscard]] std::int64_t busy_suppliers() const;
+
+ private:
+  struct Peer {
+    core::PeerId id;
+    core::PeerClass cls = core::kHighestClass;
+    std::unique_ptr<net::SupplierEndpoint> endpoint;  ///< set once a supplier
+    std::optional<core::RequesterBackoff> backoff;
+    bool admitted = false;
+    util::SimTime first_request_time = util::SimTime::zero();
+  };
+
+  [[nodiscard]] Peer& peer(core::PeerId id);
+
+  void make_supplier(Peer& p);
+  void first_request(core::PeerId id);
+  void start_attempt(core::PeerId id);
+  void on_attempt_done(core::PeerId id, const net::AsyncAdmissionAttempt::Result& r);
+  void finish_session(core::PeerId requester_id,
+                      std::vector<lookup::CandidateInfo> suppliers,
+                      core::SessionId session);
+  void take_sample(util::SimTime t);
+
+  AsyncSimulationConfig config_;
+  sim::Simulator simulator_;
+  net::MessageTransport transport_;
+  lookup::DirectoryService directory_;
+  metrics::MetricsCollector metrics_;
+
+  util::Rng lookup_rng_{0};
+  util::Rng endpoint_seed_rng_{0};
+
+  std::vector<Peer> peers_;
+  std::unordered_map<core::PeerId, std::unique_ptr<net::AsyncAdmissionAttempt>>
+      attempts_;
+  std::uint64_t next_session_ = 0;
+  core::Bandwidth supplier_bandwidth_ = core::Bandwidth::zero();
+  std::int64_t suppliers_ = 0;
+  std::int64_t sessions_completed_ = 0;
+  std::int64_t sessions_active_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace p2ps::engine

@@ -1,0 +1,101 @@
+// Configuration of a full peer-to-peer streaming simulation
+// (paper Section 5.1, with every protocol and workload knob exposed).
+#pragma once
+
+#include <cstdint>
+
+#include "core/peer_class.hpp"
+#include "util/sim_time.hpp"
+#include "workload/arrival_pattern.hpp"
+#include "workload/population.hpp"
+
+namespace p2ps::engine {
+
+/// How a requester picks session suppliers among its granted candidates.
+enum class SelectionPolicy {
+  /// Largest offer first (the paper's implied choice; minimizes supplier
+  /// count and hence Theorem-1 buffering delay).
+  kGreedyHighestFirst,
+  /// Ablation: smallest offers first (maximizes supplier count).
+  kMaxCardinality,
+};
+
+/// Which lookup substrate serves candidate queries (paper footnote 4).
+enum class LookupKind { kDirectory, kChord };
+
+/// DAC_p2p / NDAC_p2p protocol parameters (paper Section 5.1 defaults).
+struct ProtocolParams {
+  core::PeerClass num_classes = 4;
+  /// M — candidates probed per admission attempt.
+  std::size_t m_candidates = 8;
+  /// T_out — idle period after which a supplier elevates lower classes.
+  util::SimTime t_out = util::SimTime::minutes(20);
+  /// T_bkf — base backoff after a rejection.
+  util::SimTime t_bkf = util::SimTime::minutes(10);
+  /// E_bkf — backoff exponential factor (1 = constant backoff).
+  std::int64_t e_bkf = 2;
+  /// true = DAC_p2p, false = NDAC_p2p (all-ones vectors, no adaptation).
+  bool differentiated = true;
+  /// Ablation: disable the reminder technique while keeping differentiation.
+  bool reminders_enabled = true;
+};
+
+struct SimulationConfig {
+  ProtocolParams protocol;
+  workload::PopulationConfig population;
+
+  workload::ArrivalPattern pattern = workload::ArrivalPattern::kRampUpDown;
+  /// First-time requests arrive within [0, arrival_window).
+  util::SimTime arrival_window = util::SimTime::hours(72);
+  /// Sample arrival times stochastically from the pattern's density instead
+  /// of the deterministic quantile placement (seeded; still reproducible).
+  bool randomize_arrivals = false;
+  /// Total simulated period.
+  util::SimTime horizon = util::SimTime::hours(144);
+
+  /// T — the media show time; suppliers are busy for this long per session.
+  util::SimTime session_duration = util::SimTime::minutes(60);
+  /// Δt — playback time of one segment (only scales reported delays).
+  util::SimTime segment_duration = util::SimTime::seconds(1);
+
+  /// Probability that a probed candidate is unreachable (transient churn).
+  double peer_down_probability = 0.0;
+
+  /// Permanent churn: probability that a supplier leaves the system for
+  /// good right after finishing a served session (it deregisters and stops
+  /// contributing bandwidth). The paper assumes zero; this knob studies how
+  /// the self-amplification result degrades when it is not.
+  double supplier_departure_probability = 0.0;
+
+  /// Bandwidth-commitment defection (paper footnote 3 assumes an
+  /// enforcement mechanism exists; this knob removes it): probability that
+  /// an admitted requester reneges and supplies only the *lowest* class's
+  /// bandwidth after its session, instead of what it pledged to gain
+  /// admission priority.
+  double defection_probability = 0.0;
+
+  SelectionPolicy selection_policy = SelectionPolicy::kGreedyHighestFirst;
+  LookupKind lookup = LookupKind::kDirectory;
+
+  std::uint64_t seed = 42;
+
+  /// Cadence of cumulative metric snapshots (the figures use 1 hour).
+  util::SimTime sample_interval = util::SimTime::hours(1);
+  /// Cadence of Figure 7's favored-class samples.
+  util::SimTime favored_sample_interval = util::SimTime::hours(3);
+
+  /// Run the cross-checking invariant validator at each sample (O(peers)).
+  bool validate_invariants = true;
+
+  /// Retain the last N protocol trace events (0 disables tracing). See
+  /// engine/trace.hpp.
+  std::size_t trace_capacity = 0;
+};
+
+/// The paper's baseline configuration: same parameters, no differentiation.
+[[nodiscard]] inline SimulationConfig as_ndac(SimulationConfig config) {
+  config.protocol.differentiated = false;
+  return config;
+}
+
+}  // namespace p2ps::engine

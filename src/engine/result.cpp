@@ -1,0 +1,57 @@
+#include "engine/result.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace p2ps::engine {
+
+const metrics::HourlySample& SimulationResult::sample_at(util::SimTime t) const {
+  P2PS_REQUIRE(!hourly.empty());
+  const auto it = std::upper_bound(
+      hourly.begin(), hourly.end(), t,
+      [](util::SimTime value, const metrics::HourlySample& s) { return value < s.t; });
+  P2PS_REQUIRE_MSG(it != hourly.begin(), "no sample at or before requested time");
+  return *(it - 1);
+}
+
+std::int64_t SimulationResult::capacity_at(util::SimTime t) const {
+  return sample_at(t).capacity;
+}
+
+void print_summary(std::ostream& os, const SimulationResult& result) {
+  os << "final capacity: " << result.final_capacity << " / max " << result.max_capacity;
+  if (result.max_capacity > 0) {
+    os << " (" << util::format_double(100.0 * static_cast<double>(result.final_capacity) /
+                                          static_cast<double>(result.max_capacity),
+                                      1)
+       << "%)";
+  }
+  os << "\nsuppliers at end: " << result.suppliers_at_end
+     << ", sessions completed: " << result.sessions_completed
+     << ", active at end: " << result.sessions_active_at_end
+     << ", events: " << result.events_executed << '\n';
+
+  util::TextTable table({"class", "first-req", "admitted", "adm-rate%", "avg-rejections",
+                         "avg-delay(dt)", "avg-wait(min)"});
+  for (core::PeerClass c = 1; c <= result.num_classes; ++c) {
+    const auto& counters = result.totals[static_cast<std::size_t>(c - 1)];
+    table.new_row()
+        .add_cell(static_cast<long long>(c))
+        .add_cell(static_cast<long long>(counters.first_requests))
+        .add_cell(static_cast<long long>(counters.admissions));
+    const auto rate = counters.admission_rate();
+    table.add_cell(rate ? util::format_double(*rate * 100.0, 1) : "-");
+    const auto rejections = counters.mean_rejections();
+    table.add_cell(rejections ? util::format_double(*rejections, 2) : "-");
+    const auto delay = counters.mean_delay_dt();
+    table.add_cell(delay ? util::format_double(*delay, 2) : "-");
+    const auto wait = counters.mean_waiting_minutes();
+    table.add_cell(wait ? util::format_double(*wait, 1) : "-");
+  }
+  table.print(os);
+}
+
+}  // namespace p2ps::engine

@@ -1,0 +1,52 @@
+// Results of one simulation run: the series and aggregates behind every
+// figure/table in the paper's Section 5.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/peer_class.hpp"
+#include "metrics/collector.hpp"
+
+namespace p2ps::engine {
+
+struct SimulationResult {
+  core::PeerClass num_classes = 4;
+
+  /// Hourly snapshots (capacity amplification, admission rate, delays…).
+  std::vector<metrics::HourlySample> hourly;
+  /// Figure-7 samples (every 3 h by default).
+  std::vector<metrics::FavoredSample> favored;
+
+  /// End-of-run cumulative counters, per class (index = class - 1).
+  std::vector<metrics::ClassCounters> totals;
+  /// End-of-run cumulative counters summed over classes.
+  metrics::ClassCounters overall;
+
+  std::int64_t final_capacity = 0;
+  /// Capacity if every peer became a supplier (the paper's 95% yardstick).
+  std::int64_t max_capacity = 0;
+  std::int64_t suppliers_at_end = 0;
+  std::int64_t sessions_completed = 0;
+  std::int64_t sessions_active_at_end = 0;
+  /// Suppliers that permanently left (only nonzero under departure churn).
+  std::int64_t suppliers_departed = 0;
+  std::uint64_t events_executed = 0;
+
+  /// Chord routing statistics (populated when lookup == kChord).
+  std::uint64_t lookup_routed = 0;
+  double lookup_mean_hops = 0.0;
+
+  /// Capacity at (or just before) simulated time `t`, from the hourly
+  /// samples. Requires at least one sample at or before `t`.
+  [[nodiscard]] std::int64_t capacity_at(util::SimTime t) const;
+
+  /// The hourly sample taken at (or latest before) `t`.
+  [[nodiscard]] const metrics::HourlySample& sample_at(util::SimTime t) const;
+};
+
+/// Human-readable one-run summary (used by examples and smoke benches).
+void print_summary(std::ostream& os, const SimulationResult& result);
+
+}  // namespace p2ps::engine

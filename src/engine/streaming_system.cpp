@@ -1,0 +1,429 @@
+#include "engine/streaming_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/ots.hpp"
+#include "core/selection.hpp"
+#include "lookup/chord.hpp"
+#include "lookup/directory.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace p2ps::engine {
+
+namespace {
+std::unique_ptr<lookup::LookupService> make_lookup(LookupKind kind) {
+  switch (kind) {
+    case LookupKind::kDirectory: return std::make_unique<lookup::DirectoryService>();
+    case LookupKind::kChord: return std::make_unique<lookup::ChordLookup>();
+  }
+  P2PS_CHECK_MSG(false, "unknown lookup kind");
+  return nullptr;
+}
+}  // namespace
+
+StreamingSystem::StreamingSystem(SimulationConfig config)
+    : config_(std::move(config)),
+      lookup_(make_lookup(config_.lookup)),
+      metrics_(config_.protocol.num_classes) {
+  workload::validate(config_.population);
+  P2PS_REQUIRE(config_.population.num_classes == config_.protocol.num_classes);
+  P2PS_REQUIRE(config_.protocol.m_candidates > 0);
+  P2PS_REQUIRE(config_.protocol.t_out > util::SimTime::zero());
+  P2PS_REQUIRE(config_.protocol.e_bkf >= 1);
+  P2PS_REQUIRE(config_.arrival_window > util::SimTime::zero());
+  P2PS_REQUIRE(config_.horizon >= config_.arrival_window);
+  P2PS_REQUIRE(config_.session_duration > util::SimTime::zero());
+  P2PS_REQUIRE(config_.peer_down_probability >= 0.0 &&
+               config_.peer_down_probability < 1.0);
+  P2PS_REQUIRE(config_.supplier_departure_probability >= 0.0 &&
+               config_.supplier_departure_probability < 1.0);
+  P2PS_REQUIRE(config_.defection_probability >= 0.0 &&
+               config_.defection_probability <= 1.0);
+  P2PS_REQUIRE(config_.sample_interval > util::SimTime::zero());
+  P2PS_REQUIRE(config_.favored_sample_interval > util::SimTime::zero());
+
+  if (config_.trace_capacity > 0) {
+    trace_ = std::make_unique<TraceLog>(config_.trace_capacity);
+  }
+
+  util::Rng master(config_.seed);
+  lookup_rng_ = master.substream("lookup");
+  down_rng_ = master.substream("down");
+  departure_rng_ = master.substream("departure");
+  util::Rng population_rng = master.substream("population");
+
+  // Build the population: seeds first, then requesters with the paper's
+  // exact class mix.
+  const auto requester_classes =
+      workload::build_requester_classes(config_.population, population_rng);
+  peers_.resize(static_cast<std::size_t>(config_.population.seeds) +
+                requester_classes.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    Peer& p = peers_[i];
+    p.id = core::PeerId{i};
+    p.grant_rng = master.substream("grant", i);
+    if (i < static_cast<std::size_t>(config_.population.seeds)) {
+      p.cls = config_.population.seed_class;
+    } else {
+      p.cls = requester_classes[i - static_cast<std::size_t>(config_.population.seeds)];
+      p.backoff.emplace(config_.protocol.t_bkf, config_.protocol.e_bkf);
+    }
+  }
+}
+
+StreamingSystem::Peer& StreamingSystem::peer(core::PeerId id) {
+  P2PS_REQUIRE(id.valid() && id.value() < peers_.size());
+  return peers_[static_cast<std::size_t>(id.value())];
+}
+
+const StreamingSystem::Peer& StreamingSystem::peer(core::PeerId id) const {
+  P2PS_REQUIRE(id.valid() && id.value() < peers_.size());
+  return peers_[static_cast<std::size_t>(id.value())];
+}
+
+std::int64_t StreamingSystem::capacity() const {
+  return core::capacity(supplier_bandwidth_);
+}
+
+std::int64_t StreamingSystem::supplier_count() const { return suppliers_; }
+
+const core::SupplierAdmission* StreamingSystem::supplier_state(core::PeerId id) const {
+  const Peer& p = peer(id);
+  return p.supplier.has_value() ? &*p.supplier : nullptr;
+}
+
+void StreamingSystem::trace_event(TraceKind kind, const Peer& p,
+                                  core::SessionId session, std::int64_t detail) {
+  if (trace_) {
+    trace_->record(TraceEvent{simulator_.now(), kind, p.id, p.cls, session, detail});
+  }
+}
+
+void StreamingSystem::depart_supplier(Peer& p) {
+  P2PS_CHECK(p.is_supplier && p.supplier.has_value() && !p.supplier->busy());
+  disarm_idle_timer(p);
+  lookup_->deregister_supplier(p.id);
+  supplier_bandwidth_ -= core::Bandwidth::class_offer(p.cls);
+  --suppliers_;
+  ++departures_;
+  p.is_supplier = false;
+  p.departed = true;
+  p.supplier.reset();
+  trace_event(TraceKind::kDeparture, p, core::SessionId::invalid(), capacity());
+}
+
+void StreamingSystem::make_supplier(Peer& p) {
+  P2PS_CHECK(!p.is_supplier && !p.departed);
+  p.is_supplier = true;
+  p.supplier.emplace(config_.protocol.num_classes, p.cls,
+                     config_.protocol.differentiated);
+  lookup_->register_supplier(p.id, p.cls);
+  supplier_bandwidth_ += core::Bandwidth::class_offer(p.cls);
+  ++suppliers_;
+  arm_idle_timer(p);
+  trace_event(TraceKind::kBecameSupplier, p, core::SessionId::invalid(), capacity());
+}
+
+void StreamingSystem::arm_idle_timer(Peer& p) {
+  disarm_idle_timer(p);
+  // Timers only exist where the protocol can still change: DAC mode with a
+  // not-yet-fully-relaxed vector.
+  if (!config_.protocol.differentiated) return;
+  P2PS_CHECK(p.supplier.has_value());
+  if (p.supplier->vector().fully_relaxed()) return;
+  const core::PeerId id = p.id;
+  p.idle_timer = simulator_.schedule_after(config_.protocol.t_out,
+                                           [this, id] { on_idle_timeout(id); });
+}
+
+void StreamingSystem::disarm_idle_timer(Peer& p) {
+  if (p.idle_timer.valid()) {
+    simulator_.cancel(p.idle_timer);
+    p.idle_timer = sim::EventId::invalid();
+  }
+}
+
+void StreamingSystem::on_idle_timeout(core::PeerId id) {
+  Peer& p = peer(id);
+  p.idle_timer = sim::EventId::invalid();
+  P2PS_CHECK(p.supplier.has_value() && !p.supplier->busy());
+  p.supplier->on_idle_timeout();
+  trace_event(TraceKind::kIdleElevation, p);
+  arm_idle_timer(p);  // no-op once fully relaxed
+}
+
+void StreamingSystem::first_request(core::PeerId id) {
+  Peer& p = peer(id);
+  p.first_request_time = simulator_.now();
+  metrics_.on_first_request(p.cls);
+  trace_event(TraceKind::kFirstRequest, p);
+  attempt_admission(id);
+}
+
+void StreamingSystem::attempt_admission(core::PeerId id) {
+  Peer& p = peer(id);
+  P2PS_CHECK(!p.admitted && !p.is_supplier);
+  metrics_.on_attempt(p.cls);
+
+  const auto candidates =
+      lookup_->candidates(config_.protocol.m_candidates, lookup_rng_, p.id);
+  trace_event(TraceKind::kAttempt, p, core::SessionId::invalid(),
+              static_cast<std::int64_t>(candidates.size()));
+
+  std::vector<lookup::CandidateInfo> granted;
+  std::vector<core::PeerClass> granted_classes;
+  std::vector<core::BusyCandidate> busy;
+  std::vector<core::PeerId> busy_ids;
+  for (const auto& candidate : candidates) {
+    if (config_.peer_down_probability > 0.0 &&
+        down_rng_.bernoulli(config_.peer_down_probability)) {
+      continue;  // transiently unreachable: neither grants nor reminders
+    }
+    Peer& s = peer(candidate.id);
+    P2PS_CHECK(s.supplier.has_value());
+    const core::ProbeOutcome outcome = s.supplier->handle_probe(p.cls, s.grant_rng);
+    switch (outcome.reply) {
+      case core::ProbeReply::kGranted:
+        granted.push_back(candidate);
+        granted_classes.push_back(candidate.cls);
+        break;
+      case core::ProbeReply::kBusy:
+        busy.push_back(core::BusyCandidate{busy_ids.size(), candidate.cls,
+                                           outcome.favors_requester});
+        busy_ids.push_back(candidate.id);
+        break;
+      case core::ProbeReply::kDenied:
+        break;
+    }
+  }
+
+  const core::SelectionResult selection =
+      config_.selection_policy == SelectionPolicy::kGreedyHighestFirst
+          ? core::select_exact_cover(granted_classes)
+          : core::select_max_cardinality_cover(granted_classes);
+
+  if (selection.success()) {
+    // ---- admitted: start the streaming session ----
+    ActiveSession session;
+    session.id = core::SessionId{next_session_++};
+    session.requester = p.id;
+    std::vector<core::PeerClass> session_classes;
+    session_classes.reserve(selection.chosen.size());
+    for (std::size_t pick : selection.chosen) {
+      Peer& s = peer(granted[pick].id);
+      disarm_idle_timer(s);
+      s.supplier->on_session_start();
+      session.suppliers.push_back(s.id);
+      session_classes.push_back(s.cls);
+    }
+    // Granted-but-unchosen candidates were never committed; in the
+    // session-level model their grant expires instantly.
+
+    // The paper's media-data assignment for this supplier set; its delay is
+    // the session's buffering delay (Theorem 1: == supplier count).
+    const auto assignment = core::ots_assignment(session_classes);
+    const std::int64_t delay_dt = assignment.min_buffering_delay_dt();
+    P2PS_CHECK(delay_dt == core::theorem1_min_delay_dt(session_classes.size()));
+    if (config_.validate_invariants) {
+      // Media-level cross-check: replay the schedule's segment arrivals for
+      // two windows and confirm continuous playback at exactly this delay.
+      const auto buffer =
+          assignment.simulate_arrivals(config_.segment_duration, 2);
+      P2PS_CHECK_MSG(
+          buffer.check(config_.segment_duration * delay_dt).feasible,
+          "session schedule underflows at its Theorem-1 delay");
+    }
+
+    p.admitted = true;
+    p.in_service = true;
+    metrics_.on_admission(p.cls, p.backoff->rejections(), delay_dt,
+                          simulator_.now() - p.first_request_time);
+    trace_event(TraceKind::kAdmission, p, session.id, delay_dt);
+
+    const core::SessionId session_id = session.id;
+    sessions_.emplace(session_id, std::move(session));
+    simulator_.schedule_after(config_.session_duration,
+                              [this, session_id] { end_session(session_id); });
+    return;
+  }
+
+  // ---- rejected ----
+  metrics_.on_rejection(p.cls);
+  std::int64_t reminders_left = 0;
+  if (config_.protocol.differentiated && config_.protocol.reminders_enabled) {
+    const auto omega = core::reminder_set(busy, selection.shortfall);
+    for (std::size_t index : omega) {
+      peer(busy_ids[index]).supplier->leave_reminder(p.cls);
+    }
+    reminders_left = static_cast<std::int64_t>(omega.size());
+  }
+  trace_event(TraceKind::kRejection, p, core::SessionId::invalid(), reminders_left);
+  const util::SimTime backoff = p.backoff->on_rejected();
+  const core::PeerId peer_id = p.id;
+  simulator_.schedule_after(backoff, [this, peer_id] { attempt_admission(peer_id); });
+}
+
+void StreamingSystem::end_session(core::SessionId id) {
+  const auto it = sessions_.find(id);
+  P2PS_CHECK(it != sessions_.end());
+  const ActiveSession session = std::move(it->second);
+  sessions_.erase(it);
+
+  for (core::PeerId supplier_id : session.suppliers) {
+    Peer& s = peer(supplier_id);
+    s.supplier->on_session_end();
+    if (config_.supplier_departure_probability > 0.0 &&
+        departure_rng_.bernoulli(config_.supplier_departure_probability)) {
+      depart_supplier(s);
+    } else {
+      arm_idle_timer(s);
+    }
+  }
+
+  Peer& requester = peer(session.requester);
+  P2PS_CHECK(requester.in_service);
+  requester.in_service = false;
+  trace_event(TraceKind::kSessionEnd, requester, session.id,
+              static_cast<std::int64_t>(session.suppliers.size()));
+  if (config_.defection_probability > 0.0 &&
+      departure_rng_.bernoulli(config_.defection_probability)) {
+    // Broken commitment: it gained admission with its pledged class but
+    // will supply only the minimum from now on.
+    requester.cls = config_.protocol.num_classes;
+  }
+  make_supplier(requester);  // play-while-downloading: it now owns the file
+  ++sessions_completed_;
+}
+
+void StreamingSystem::take_sample(util::SimTime t) {
+  metrics_.hourly_sample(t, capacity(), active_sessions(), suppliers_);
+  if (config_.validate_invariants) check_invariants();
+}
+
+void StreamingSystem::take_favored_sample(util::SimTime t) {
+  const auto k = static_cast<std::size_t>(config_.protocol.num_classes);
+  std::vector<double> sums(k, 0.0);
+  std::vector<std::int64_t> counts(k, 0);
+  for (const Peer& p : peers_) {
+    if (!p.is_supplier) continue;
+    const auto idx = static_cast<std::size_t>(p.cls - 1);
+    sums[idx] += static_cast<double>(p.supplier->vector().lowest_favored_class());
+    ++counts[idx];
+  }
+  metrics::FavoredSample sample;
+  sample.t = t;
+  sample.avg_lowest_favored.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    sample.avg_lowest_favored[i] =
+        counts[i] > 0 ? sums[i] / static_cast<double>(counts[i])
+                      : std::nan("");
+  }
+  metrics_.favored_sample(std::move(sample));
+}
+
+void StreamingSystem::check_invariants() const {
+  // Capacity ledger matches a from-scratch recount.
+  core::Bandwidth recount = core::Bandwidth::zero();
+  std::int64_t supplier_recount = 0;
+  std::int64_t busy_recount = 0;
+  for (const Peer& p : peers_) {
+    if (p.is_supplier) {
+      recount += core::Bandwidth::class_offer(p.cls);
+      ++supplier_recount;
+      if (p.supplier->busy()) ++busy_recount;
+    } else {
+      P2PS_CHECK_MSG(!p.supplier.has_value(), "non-supplier carrying supplier state");
+    }
+  }
+  P2PS_CHECK_MSG(recount == supplier_bandwidth_, "capacity ledger drifted");
+  P2PS_CHECK_MSG(supplier_recount == suppliers_, "supplier count drifted");
+  P2PS_CHECK_MSG(static_cast<std::size_t>(supplier_recount) ==
+                     lookup_->supplier_count(),
+                 "lookup registry out of sync");
+
+  // Every active session holds distinct, busy suppliers whose offers sum to
+  // exactly R0; every busy supplier belongs to exactly one session.
+  std::int64_t session_supplier_total = 0;
+  for (const auto& [sid, session] : sessions_) {
+    core::Bandwidth sum = core::Bandwidth::zero();
+    for (core::PeerId supplier_id : session.suppliers) {
+      const Peer& s = peer(supplier_id);
+      P2PS_CHECK_MSG(s.supplier->busy(), "session supplier not busy");
+      sum += core::Bandwidth::class_offer(s.cls);
+    }
+    P2PS_CHECK_MSG(sum == core::Bandwidth::playback_rate(),
+                   "session bandwidth != R0");
+    session_supplier_total += static_cast<std::int64_t>(session.suppliers.size());
+    P2PS_CHECK_MSG(peer(session.requester).in_service, "requester not in service");
+  }
+  P2PS_CHECK_MSG(busy_recount == session_supplier_total,
+                 "busy suppliers do not match active sessions");
+}
+
+SimulationResult StreamingSystem::run() {
+  P2PS_REQUIRE_MSG(!ran_, "run() may be called only once");
+  ran_ = true;
+
+  // Seeds come online at t = 0.
+  for (std::int64_t i = 0; i < config_.population.seeds; ++i) {
+    make_supplier(peers_[static_cast<std::size_t>(i)]);
+  }
+
+  // Schedule all first-time requests.
+  util::Rng arrival_rng = util::Rng(config_.seed).substream("arrivals");
+  const auto schedule =
+      config_.randomize_arrivals
+          ? workload::ArrivalSchedule::make_sampled(config_.pattern,
+                                                    config_.population.requesters,
+                                                    config_.arrival_window, arrival_rng)
+          : workload::ArrivalSchedule::make(config_.pattern,
+                                            config_.population.requesters,
+                                            config_.arrival_window);
+  const auto& times = schedule.times();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const core::PeerId id{static_cast<std::uint64_t>(config_.population.seeds) + i};
+    simulator_.schedule_at(times[i], [this, id] { first_request(id); });
+  }
+
+  // Metric sampling: a snapshot at t=0, then periodically to the horizon.
+  take_sample(util::SimTime::zero());
+  take_favored_sample(util::SimTime::zero());
+  sim::Periodic sampler(simulator_, config_.sample_interval, config_.sample_interval,
+                        [this](util::SimTime t) { take_sample(t); });
+  sim::Periodic favored_sampler(
+      simulator_, config_.favored_sample_interval, config_.favored_sample_interval,
+      [this](util::SimTime t) { take_favored_sample(t); });
+
+  simulator_.run_until(config_.horizon);
+  sampler.stop();
+  favored_sampler.stop();
+
+  if (config_.validate_invariants) check_invariants();
+
+  SimulationResult result;
+  result.num_classes = config_.protocol.num_classes;
+  result.hourly = metrics_.hourly();
+  result.favored = metrics_.favored();
+  result.totals.reserve(static_cast<std::size_t>(config_.protocol.num_classes));
+  for (core::PeerClass c = 1; c <= config_.protocol.num_classes; ++c) {
+    result.totals.push_back(metrics_.totals(c));
+  }
+  result.overall = metrics_.overall();
+  result.final_capacity = capacity();
+  result.max_capacity = workload::max_possible_capacity(config_.population);
+  result.suppliers_at_end = suppliers_;
+  result.sessions_completed = sessions_completed_;
+  result.sessions_active_at_end = active_sessions();
+  result.suppliers_departed = departures_;
+  result.events_executed = simulator_.executed_count();
+  if (const auto* chord = dynamic_cast<const lookup::ChordLookup*>(lookup_.get())) {
+    result.lookup_routed = chord->stats().lookups;
+    result.lookup_mean_hops = chord->stats().mean_hops();
+  }
+  return result;
+}
+
+}  // namespace p2ps::engine

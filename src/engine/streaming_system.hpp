@@ -1,0 +1,126 @@
+// The peer-to-peer media streaming system simulator (paper Section 5).
+//
+// Session-level engine with the exact event semantics of the paper's
+// evaluation: first-time request arrivals, instantaneous probe exchanges,
+// streaming sessions that occupy their suppliers for the show time T,
+// requesters turning into suppliers when their session completes, idle
+// elevation timers and reminders. The protocol state machines themselves
+// live in src/core; this class wires them to the event queue, the lookup
+// service, the workload and the metrics.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/admission/requester.hpp"
+#include "core/admission/supplier.hpp"
+#include "core/bandwidth.hpp"
+#include "core/ids.hpp"
+#include "engine/config.hpp"
+#include "engine/result.hpp"
+#include "engine/trace.hpp"
+#include "lookup/lookup_service.hpp"
+#include "metrics/collector.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace p2ps::engine {
+
+class StreamingSystem {
+ public:
+  explicit StreamingSystem(SimulationConfig config);
+
+  /// Runs the full simulation to the horizon and returns the collected
+  /// series and aggregates. May be called once.
+  SimulationResult run();
+
+  // ---- inspection (tests, examples) ----
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+  [[nodiscard]] std::int64_t capacity() const;
+  [[nodiscard]] std::int64_t supplier_count() const;
+  [[nodiscard]] std::int64_t active_sessions() const {
+    return static_cast<std::int64_t>(sessions_.size());
+  }
+  [[nodiscard]] const lookup::LookupService& lookup_service() const { return *lookup_; }
+  [[nodiscard]] const metrics::MetricsCollector& metrics() const { return metrics_; }
+
+  /// Supplier-side protocol state of a peer (nullopt when not a supplier).
+  [[nodiscard]] const core::SupplierAdmission* supplier_state(core::PeerId id) const;
+
+  /// Protocol trace (nullptr unless config.trace_capacity > 0).
+  [[nodiscard]] const TraceLog* trace() const { return trace_.get(); }
+
+ private:
+  struct Peer {
+    core::PeerId id;
+    core::PeerClass cls = core::kHighestClass;
+    bool is_supplier = false;
+    bool admitted = false;
+    bool in_service = false;  ///< currently being streamed to
+    bool departed = false;    ///< left the system permanently (churn)
+    util::SimTime first_request_time = util::SimTime::zero();
+    std::optional<core::SupplierAdmission> supplier;
+    std::optional<core::RequesterBackoff> backoff;
+    sim::EventId idle_timer = sim::EventId::invalid();
+    util::Rng grant_rng{0};  ///< supplier-side probabilistic admission tests
+  };
+
+  struct ActiveSession {
+    core::SessionId id;
+    core::PeerId requester;
+    std::vector<core::PeerId> suppliers;
+  };
+
+  [[nodiscard]] Peer& peer(core::PeerId id);
+  [[nodiscard]] const Peer& peer(core::PeerId id) const;
+
+  /// Turns `p` into a registered supplying peer (seed start-up or session
+  /// completion) and updates the capacity ledger.
+  void make_supplier(Peer& p);
+
+  /// Permanent departure (churn): deregisters `p` and returns its pledged
+  /// bandwidth to nowhere — the capacity ledger shrinks.
+  void depart_supplier(Peer& p);
+
+  /// (Re)arms the idle elevation timer when the protocol needs one.
+  void arm_idle_timer(Peer& p);
+  void disarm_idle_timer(Peer& p);
+  void on_idle_timeout(core::PeerId id);
+
+  void first_request(core::PeerId id);
+  void attempt_admission(core::PeerId id);
+  void end_session(core::SessionId id);
+
+  void take_sample(util::SimTime t);
+  void take_favored_sample(util::SimTime t);
+  void check_invariants() const;
+
+  /// Records a trace event when tracing is enabled.
+  void trace_event(TraceKind kind, const Peer& p,
+                   core::SessionId session = core::SessionId::invalid(),
+                   std::int64_t detail = 0);
+
+  SimulationConfig config_;
+  sim::Simulator simulator_;
+  std::unique_ptr<lookup::LookupService> lookup_;
+  std::unique_ptr<TraceLog> trace_;
+  metrics::MetricsCollector metrics_;
+
+  util::Rng lookup_rng_{0};
+  util::Rng down_rng_{0};
+  util::Rng departure_rng_{0};
+
+  std::vector<Peer> peers_;
+  std::unordered_map<core::SessionId, ActiveSession> sessions_;
+  std::uint64_t next_session_ = 0;
+
+  core::Bandwidth supplier_bandwidth_ = core::Bandwidth::zero();
+  std::int64_t suppliers_ = 0;
+  std::int64_t sessions_completed_ = 0;
+  std::int64_t departures_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace p2ps::engine

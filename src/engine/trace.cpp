@@ -1,0 +1,84 @@
+#include "engine/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace p2ps::engine {
+
+std::string_view to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kFirstRequest: return "first-request";
+    case TraceKind::kAttempt: return "attempt";
+    case TraceKind::kRejection: return "rejection";
+    case TraceKind::kAdmission: return "admission";
+    case TraceKind::kSessionEnd: return "session-end";
+    case TraceKind::kBecameSupplier: return "became-supplier";
+    case TraceKind::kDeparture: return "departure";
+    case TraceKind::kIdleElevation: return "idle-elevation";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceEvent& event) {
+  os << "t=" << util::format_double(event.t.as_hours(), 3) << "h "
+     << to_string(event.kind) << " peer=" << event.peer.value() << " class="
+     << event.cls;
+  if (event.session.valid()) os << " session=" << event.session.value();
+  os << " detail=" << event.detail;
+  return os;
+}
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
+  P2PS_REQUIRE(capacity > 0);
+  ring_.reserve(capacity);
+}
+
+void TraceLog::record(TraceEvent event) {
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+}
+
+std::size_t TraceLog::size() const { return ring_.size(); }
+
+std::uint64_t TraceLog::dropped() const {
+  return recorded_ - static_cast<std::uint64_t>(ring_.size());
+}
+
+std::vector<TraceEvent> TraceLog::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (!wrapped_) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::journey(core::PeerId peer) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events()) {
+    if (event.peer == peer) out.push_back(event);
+  }
+  return out;
+}
+
+std::size_t TraceLog::count(TraceKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(ring_.begin(), ring_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+}  // namespace p2ps::engine

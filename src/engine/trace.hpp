@@ -1,0 +1,76 @@
+// Structured protocol trace.
+//
+// When enabled (SimulationConfig::trace_capacity > 0), the session-level
+// engine records one compact event per protocol action into a bounded ring
+// buffer. Traces make individual peer journeys inspectable — first request,
+// rejections and their reminder counts, admission with its session and
+// buffering delay, the supplier hand-over — without grepping logs, and are
+// the basis of the `trace_explorer` example.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/peer_class.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::engine {
+
+enum class TraceKind : std::uint8_t {
+  kFirstRequest,
+  kAttempt,        ///< detail = candidates probed
+  kRejection,      ///< detail = reminders left
+  kAdmission,      ///< detail = buffering delay (Δt units)
+  kSessionEnd,     ///< detail = number of suppliers released
+  kBecameSupplier, ///< detail = capacity after registration
+  kDeparture,      ///< detail = capacity after leaving
+  kIdleElevation,
+};
+
+[[nodiscard]] std::string_view to_string(TraceKind kind);
+
+struct TraceEvent {
+  util::SimTime t;
+  TraceKind kind = TraceKind::kFirstRequest;
+  core::PeerId peer;
+  core::PeerClass cls = core::kHighestClass;
+  core::SessionId session;  ///< valid for admission/session-end events
+  std::int64_t detail = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const TraceEvent& event);
+
+/// Bounded ring buffer of trace events. When full, the oldest events are
+/// overwritten; `dropped()` reports how many.
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t capacity);
+
+  void record(TraceEvent event);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Events in chronological order (oldest retained first).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Chronological journey of a single peer.
+  [[nodiscard]] std::vector<TraceEvent> journey(core::PeerId peer) const;
+
+  /// Count of retained events of a given kind.
+  [[nodiscard]] std::size_t count(TraceKind kind) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace p2ps::engine

@@ -1,0 +1,120 @@
+#include "lookup/chord.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace p2ps::lookup {
+
+std::uint64_t ChordLookup::ring_position(core::PeerId id) {
+  std::uint64_t state = id.value() ^ 0xA5A5A5A55A5A5A5AULL;
+  return util::splitmix64(state);
+}
+
+void ChordLookup::register_supplier(core::PeerId id, core::PeerClass cls) {
+  P2PS_REQUIRE(id.valid());
+  P2PS_REQUIRE_MSG(!pos_.contains(id), "supplier already registered");
+  std::uint64_t position = ring_position(id);
+  // Linear probing on the (sparse) ring resolves the astronomically rare
+  // position collision deterministically.
+  while (ring_.contains(position)) ++position;
+  pos_.emplace(id, position);
+  ring_.emplace(position, CandidateInfo{id, cls});
+}
+
+void ChordLookup::deregister_supplier(core::PeerId id) {
+  auto it = pos_.find(id);
+  P2PS_REQUIRE_MSG(it != pos_.end(), "supplier not registered");
+  ring_.erase(it->second);
+  pos_.erase(it);
+}
+
+bool ChordLookup::contains(core::PeerId id) const { return pos_.contains(id); }
+
+std::size_t ChordLookup::supplier_count() const { return ring_.size(); }
+
+CandidateInfo ChordLookup::owner_of(std::uint64_t key) const {
+  P2PS_REQUIRE_MSG(!ring_.empty(), "lookup on an empty ring");
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+CandidateInfo ChordLookup::route(std::uint64_t from_key, std::uint64_t key) {
+  P2PS_REQUIRE_MSG(!ring_.empty(), "lookup on an empty ring");
+  const std::uint64_t target_pos = pos_.at(owner_of(key).id);
+
+  std::uint64_t current = pos_.at(owner_of(from_key).id);
+  std::uint64_t hops = 0;
+  while (current != target_pos) {
+    // Greedy: follow the longest finger that does not overshoot the target.
+    std::uint64_t best = current;
+    std::uint64_t best_advance = 0;
+    for (int i = kBits - 1; i >= 0; --i) {
+      const std::uint64_t fpos = pos_.at(owner_of(finger_target(current, i)).id);
+      if (fpos == current) continue;
+      const std::uint64_t advance = clockwise(current, fpos);
+      if (advance <= clockwise(current, target_pos) && advance > best_advance) {
+        best = fpos;
+        best_advance = advance;
+        break;  // fingers are sorted by span; the first fit is the longest
+      }
+    }
+    if (best == current) {
+      // No finger strictly precedes the target: the successor owns it.
+      auto it = ring_.upper_bound(current);
+      if (it == ring_.end()) it = ring_.begin();
+      best = it->first;
+    }
+    current = best;
+    ++hops;
+    P2PS_CHECK_MSG(hops <= 2 * static_cast<std::uint64_t>(kBits) + ring_.size(),
+                   "chord routing failed to converge");
+  }
+  ++stats_.lookups;
+  stats_.total_hops += hops;
+  stats_.max_hops = std::max(stats_.max_hops, hops);
+  return ring_.at(target_pos);
+}
+
+std::vector<CandidateInfo> ChordLookup::candidates(std::size_t m, util::Rng& rng,
+                                                   core::PeerId exclude) {
+  std::vector<CandidateInfo> out;
+  if (ring_.empty() || m == 0) return out;
+
+  const std::size_t distinct_available = ring_.size() - (pos_.contains(exclude) ? 1 : 0);
+  const std::size_t want = std::min(m, distinct_available);
+  if (want == 0) return out;
+
+  std::vector<core::PeerId> seen;
+  // Random keys resolved via routed lookups, as a real requester would.
+  // Bounded retries handle owner collisions on small rings.
+  const std::size_t max_tries = 16 * want + 64;
+  for (std::size_t tries = 0; out.size() < want && tries < max_tries; ++tries) {
+    const std::uint64_t key = rng();
+    const CandidateInfo candidate = route(rng(), key);
+    if (candidate.id == exclude) continue;
+    if (std::find(seen.begin(), seen.end(), candidate.id) != seen.end()) continue;
+    seen.push_back(candidate.id);
+    out.push_back(candidate);
+  }
+  // Deterministic fallback: sweep the ring from a random point to fill any
+  // remainder (tiny rings with highly uneven arcs).
+  if (out.size() < want) {
+    auto it = ring_.lower_bound(rng());
+    for (std::size_t steps = 0; steps < ring_.size() && out.size() < want; ++steps) {
+      if (it == ring_.end()) it = ring_.begin();
+      const CandidateInfo& candidate = it->second;
+      if (candidate.id != exclude &&
+          std::find(seen.begin(), seen.end(), candidate.id) == seen.end()) {
+        seen.push_back(candidate.id);
+        out.push_back(candidate);
+      }
+      ++it;
+    }
+  }
+  return out;
+}
+
+}  // namespace p2ps::lookup

@@ -1,0 +1,31 @@
+// Napster-style centralized directory (paper footnote 4, first option).
+//
+// O(1) register/deregister via swap-remove, O(M) uniform sampling without
+// replacement. This is the lookup service the paper's evaluation assumes.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "lookup/lookup_service.hpp"
+
+namespace p2ps::lookup {
+
+class DirectoryService final : public LookupService {
+ public:
+  void register_supplier(core::PeerId id, core::PeerClass cls) override;
+  void deregister_supplier(core::PeerId id) override;
+  [[nodiscard]] bool contains(core::PeerId id) const override;
+  [[nodiscard]] std::size_t supplier_count() const override;
+  [[nodiscard]] std::vector<CandidateInfo> candidates(std::size_t m, util::Rng& rng,
+                                                      core::PeerId exclude) override;
+
+  /// The class recorded for a supplier (test/metrics helper).
+  [[nodiscard]] core::PeerClass class_of(core::PeerId id) const;
+
+ private:
+  std::vector<CandidateInfo> entries_;
+  std::unordered_map<core::PeerId, std::size_t> index_;  // id -> entries_ slot
+};
+
+}  // namespace p2ps::lookup

@@ -1,0 +1,5 @@
+#include "media/media_file.hpp"
+
+// MediaFile is header-only today; this TU anchors the library and keeps the
+// build target non-empty for tooling that expects one object per module.
+namespace p2ps::media {}

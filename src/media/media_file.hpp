@@ -1,0 +1,54 @@
+// Constant-bit-rate media model (paper Section 2, assumption 5).
+//
+// A media file is a sequence of equal-size segments; each segment plays for
+// exactly `segment_duration` (the paper's Δt). Streaming correctness is
+// purely a timing property at segment granularity: segment s must have fully
+// arrived before its playback deadline `start_delay + s·Δt`.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::media {
+
+/// Description of one CBR media item.
+class MediaFile {
+ public:
+  /// `segments` — total number of segments; `segment_duration` — Δt.
+  MediaFile(std::int64_t segments, util::SimTime segment_duration)
+      : segments_(segments), segment_duration_(segment_duration) {
+    P2PS_REQUIRE(segments > 0);
+    P2PS_REQUIRE(segment_duration > util::SimTime::zero());
+  }
+
+  /// Convenience: a file with the given total show time, split into
+  /// ceil(show_time / Δt) segments.
+  [[nodiscard]] static MediaFile from_show_time(util::SimTime show_time,
+                                                util::SimTime segment_duration) {
+    P2PS_REQUIRE(show_time > util::SimTime::zero());
+    P2PS_REQUIRE(segment_duration > util::SimTime::zero());
+    const std::int64_t n =
+        (show_time.as_millis() + segment_duration.as_millis() - 1) /
+        segment_duration.as_millis();
+    return MediaFile(n, segment_duration);
+  }
+
+  [[nodiscard]] std::int64_t segments() const { return segments_; }
+  [[nodiscard]] util::SimTime segment_duration() const { return segment_duration_; }
+  [[nodiscard]] util::SimTime show_time() const { return segment_duration_ * segments_; }
+
+  /// Playback deadline of segment `s` relative to transmission start, given
+  /// the buffering delay `start_delay`: the moment the player consumes it.
+  [[nodiscard]] util::SimTime deadline(std::int64_t s, util::SimTime start_delay) const {
+    P2PS_REQUIRE(s >= 0 && s < segments_);
+    return start_delay + segment_duration_ * s;
+  }
+
+ private:
+  std::int64_t segments_;
+  util::SimTime segment_duration_;
+};
+
+}  // namespace p2ps::media

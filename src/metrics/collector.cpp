@@ -1,0 +1,94 @@
+#include "metrics/collector.hpp"
+
+#include "util/assert.hpp"
+
+namespace p2ps::metrics {
+
+std::optional<double> ClassCounters::admission_rate() const {
+  if (first_requests == 0) return std::nullopt;
+  return static_cast<double>(admissions) / static_cast<double>(first_requests);
+}
+
+std::optional<double> ClassCounters::mean_delay_dt() const {
+  if (admissions == 0) return std::nullopt;
+  return buffering_delay_dt_sum / static_cast<double>(admissions);
+}
+
+std::optional<double> ClassCounters::mean_rejections() const {
+  if (admissions == 0) return std::nullopt;
+  return static_cast<double>(rejections_before_admission_sum) /
+         static_cast<double>(admissions);
+}
+
+std::optional<double> ClassCounters::mean_waiting_minutes() const {
+  if (admissions == 0) return std::nullopt;
+  return waiting_ms_sum / 60'000.0 / static_cast<double>(admissions);
+}
+
+MetricsCollector::MetricsCollector(core::PeerClass num_classes) {
+  P2PS_REQUIRE(num_classes >= 1 && num_classes <= core::kMaxSupportedClasses);
+  totals_.resize(static_cast<std::size_t>(num_classes));
+}
+
+void MetricsCollector::on_first_request(core::PeerClass c) {
+  core::require_valid_class(c, num_classes());
+  ++totals_[static_cast<std::size_t>(c - 1)].first_requests;
+}
+
+void MetricsCollector::on_attempt(core::PeerClass c) {
+  core::require_valid_class(c, num_classes());
+  ++totals_[static_cast<std::size_t>(c - 1)].attempts;
+}
+
+void MetricsCollector::on_rejection(core::PeerClass c) {
+  core::require_valid_class(c, num_classes());
+  ++totals_[static_cast<std::size_t>(c - 1)].rejections;
+}
+
+void MetricsCollector::on_admission(core::PeerClass c, std::int64_t rejections_before,
+                                    std::int64_t delay_dt, util::SimTime waiting) {
+  core::require_valid_class(c, num_classes());
+  P2PS_REQUIRE(rejections_before >= 0);
+  P2PS_REQUIRE(delay_dt >= 0);
+  P2PS_REQUIRE(waiting >= util::SimTime::zero());
+  auto& counters = totals_[static_cast<std::size_t>(c - 1)];
+  ++counters.admissions;
+  counters.rejections_before_admission_sum += rejections_before;
+  counters.buffering_delay_dt_sum += static_cast<double>(delay_dt);
+  counters.waiting_ms_sum += static_cast<double>(waiting.as_millis());
+}
+
+void MetricsCollector::hourly_sample(util::SimTime t, std::int64_t capacity,
+                                     std::int64_t active_sessions,
+                                     std::int64_t suppliers) {
+  P2PS_REQUIRE(hourly_.empty() || hourly_.back().t <= t);
+  hourly_.push_back(HourlySample{t, capacity, active_sessions, suppliers, totals_});
+}
+
+void MetricsCollector::favored_sample(FavoredSample sample) {
+  P2PS_REQUIRE(static_cast<core::PeerClass>(sample.avg_lowest_favored.size()) ==
+               num_classes());
+  P2PS_REQUIRE(favored_.empty() || favored_.back().t <= sample.t);
+  favored_.push_back(std::move(sample));
+}
+
+const ClassCounters& MetricsCollector::totals(core::PeerClass c) const {
+  core::require_valid_class(c, num_classes());
+  return totals_[static_cast<std::size_t>(c - 1)];
+}
+
+ClassCounters MetricsCollector::overall() const {
+  ClassCounters sum;
+  for (const auto& counters : totals_) {
+    sum.first_requests += counters.first_requests;
+    sum.attempts += counters.attempts;
+    sum.admissions += counters.admissions;
+    sum.rejections += counters.rejections;
+    sum.rejections_before_admission_sum += counters.rejections_before_admission_sum;
+    sum.buffering_delay_dt_sum += counters.buffering_delay_dt_sum;
+    sum.waiting_ms_sum += counters.waiting_ms_sum;
+  }
+  return sum;
+}
+
+}  // namespace p2ps::metrics

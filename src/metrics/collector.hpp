@@ -1,0 +1,90 @@
+// Metrics collection for the paper's evaluation (Section 5.2).
+//
+// The engine reports protocol events (first requests, admissions,
+// rejections, capacity changes) and takes periodic samples; this module
+// turns them into the series behind Figures 4–9 and Table 1:
+//   * hourly snapshots of cumulative per-class counters + capacity;
+//   * 3-hour samples of the average lowest favored class per supplier
+//     class (Figure 7's adaptivity view);
+//   * end-of-run aggregates (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/peer_class.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::metrics {
+
+/// Cumulative per-class counters (all "since the start of the run").
+struct ClassCounters {
+  std::int64_t first_requests = 0;   ///< peers that made their 1st request
+  std::int64_t attempts = 0;         ///< admission attempts incl. retries
+  std::int64_t admissions = 0;
+  std::int64_t rejections = 0;       ///< rejection events (one per failed attempt)
+  std::int64_t rejections_before_admission_sum = 0;  ///< over admitted peers
+  double buffering_delay_dt_sum = 0.0;  ///< Σ session delays, units of Δt
+  double waiting_ms_sum = 0.0;          ///< Σ waiting times of admitted peers
+
+  /// admitted / first-requesters so far; nullopt before any first request.
+  [[nodiscard]] std::optional<double> admission_rate() const;
+  /// Average buffering delay (·Δt) over admitted sessions; nullopt if none.
+  [[nodiscard]] std::optional<double> mean_delay_dt() const;
+  /// Average rejections experienced by admitted peers; nullopt if none.
+  [[nodiscard]] std::optional<double> mean_rejections() const;
+  /// Average waiting time of admitted peers; nullopt if none.
+  [[nodiscard]] std::optional<double> mean_waiting_minutes() const;
+};
+
+/// One hourly snapshot of the whole system.
+struct HourlySample {
+  util::SimTime t;
+  std::int64_t capacity = 0;
+  std::int64_t active_sessions = 0;
+  std::int64_t suppliers = 0;
+  std::vector<ClassCounters> per_class;  // index = class - 1
+};
+
+/// One Figure-7 sample: per *supplier* class, the average over supplying
+/// peers of that class of their lowest favored requesting-peer class.
+struct FavoredSample {
+  util::SimTime t;
+  /// index = supplier class - 1; NaN when no suppliers of that class exist.
+  std::vector<double> avg_lowest_favored;
+};
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(core::PeerClass num_classes);
+
+  // ---- protocol events (engine-driven) ----
+  void on_first_request(core::PeerClass c);
+  void on_attempt(core::PeerClass c);
+  void on_rejection(core::PeerClass c);
+  void on_admission(core::PeerClass c, std::int64_t rejections_before,
+                    std::int64_t delay_dt, util::SimTime waiting);
+
+  // ---- periodic samples (engine-driven) ----
+  void hourly_sample(util::SimTime t, std::int64_t capacity,
+                     std::int64_t active_sessions, std::int64_t suppliers);
+  void favored_sample(FavoredSample sample);
+
+  // ---- queries ----
+  [[nodiscard]] core::PeerClass num_classes() const {
+    return static_cast<core::PeerClass>(totals_.size());
+  }
+  [[nodiscard]] const ClassCounters& totals(core::PeerClass c) const;
+  /// Sum of counters over all classes.
+  [[nodiscard]] ClassCounters overall() const;
+  [[nodiscard]] const std::vector<HourlySample>& hourly() const { return hourly_; }
+  [[nodiscard]] const std::vector<FavoredSample>& favored() const { return favored_; }
+
+ private:
+  std::vector<ClassCounters> totals_;
+  std::vector<HourlySample> hourly_;
+  std::vector<FavoredSample> favored_;
+};
+
+}  // namespace p2ps::metrics

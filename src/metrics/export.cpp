@@ -1,0 +1,81 @@
+#include "metrics/export.hpp"
+
+#include <ostream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace p2ps::metrics {
+
+void write_hourly_csv(std::ostream& os, const std::vector<HourlySample>& samples,
+                      core::PeerClass num_classes) {
+  os << "hour,capacity,active_sessions,suppliers";
+  for (core::PeerClass c = 1; c <= num_classes; ++c) {
+    os << ",first_requests_c" << c << ",admissions_c" << c << ",admission_rate_c"
+       << c << ",mean_delay_dt_c" << c << ",mean_rejections_c" << c;
+  }
+  os << '\n';
+  for (const auto& sample : samples) {
+    os << sample.t.as_hours() << ',' << sample.capacity << ','
+       << sample.active_sessions << ',' << sample.suppliers;
+    P2PS_REQUIRE(static_cast<core::PeerClass>(sample.per_class.size()) >= num_classes);
+    for (core::PeerClass c = 1; c <= num_classes; ++c) {
+      const auto& counters = sample.per_class[static_cast<std::size_t>(c - 1)];
+      os << ',' << counters.first_requests << ',' << counters.admissions << ',';
+      if (const auto rate = counters.admission_rate()) {
+        os << util::format_double(*rate * 100.0, 4);
+      }
+      os << ',';
+      if (const auto delay = counters.mean_delay_dt()) {
+        os << util::format_double(*delay, 4);
+      }
+      os << ',';
+      if (const auto rejections = counters.mean_rejections()) {
+        os << util::format_double(*rejections, 4);
+      }
+    }
+    os << '\n';
+  }
+}
+
+void write_favored_csv(std::ostream& os, const std::vector<FavoredSample>& samples,
+                       core::PeerClass num_classes) {
+  os << "hour";
+  for (core::PeerClass c = 1; c <= num_classes; ++c) {
+    os << ",lowest_favored_suppliers_c" << c;
+  }
+  os << '\n';
+  for (const auto& sample : samples) {
+    os << sample.t.as_hours();
+    for (core::PeerClass c = 1; c <= num_classes; ++c) {
+      os << ',';
+      const double value = sample.avg_lowest_favored[static_cast<std::size_t>(c - 1)];
+      if (value == value) {  // not NaN
+        os << util::format_double(value, 4);
+      }
+    }
+    os << '\n';
+  }
+}
+
+void write_gnuplot_script(std::ostream& os, const std::string& title,
+                          const std::string& ylabel, const std::string& output_png,
+                          const std::vector<PlotSeries>& series) {
+  P2PS_REQUIRE(!series.empty());
+  os << "set terminal pngcairo size 900,600\n"
+     << "set output '" << output_png << "'\n"
+     << "set datafile separator ','\n"
+     << "set key left top\n"
+     << "set title '" << title << "'\n"
+     << "set xlabel 'Time (hour)'\n"
+     << "set ylabel '" << ylabel << "'\n"
+     << "plot ";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i) os << ", \\\n     ";
+    os << "'" << series[i].csv_file << "' using 1:" << series[i].column
+       << " with lines title '" << series[i].label << "'";
+  }
+  os << '\n';
+}
+
+}  // namespace p2ps::metrics

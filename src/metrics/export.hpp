@@ -1,0 +1,43 @@
+// CSV / gnuplot export of collected series.
+//
+// The bench harnesses print aligned tables; for plotting, set
+// `P2PS_BENCH_CSV=<dir>` and each harness also drops one CSV per run plus a
+// ready-to-run gnuplot script per figure, so the paper's plots can be
+// regenerated with `gnuplot <dir>/fig4_capacity.gp`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/peer_class.hpp"
+#include "metrics/collector.hpp"
+
+namespace p2ps::metrics {
+
+/// Hourly series as CSV. Columns: hour, capacity, active_sessions,
+/// suppliers, then per class c: first_requests_c, admissions_c,
+/// admission_rate_c (percent, empty until defined), mean_delay_dt_c,
+/// mean_rejections_c.
+void write_hourly_csv(std::ostream& os, const std::vector<HourlySample>& samples,
+                      core::PeerClass num_classes);
+
+/// Favored-class series as CSV: hour, then avg lowest favored class per
+/// supplier class (empty cells where no suppliers of that class exist).
+void write_favored_csv(std::ostream& os, const std::vector<FavoredSample>& samples,
+                       core::PeerClass num_classes);
+
+/// One labelled data series inside a gnuplot figure.
+struct PlotSeries {
+  std::string csv_file;   ///< path as the script should reference it
+  std::string label;
+  int column = 2;         ///< 1-based CSV column to plot against hour
+};
+
+/// Emits a self-contained gnuplot script (PNG terminal) plotting the given
+/// series over time.
+void write_gnuplot_script(std::ostream& os, const std::string& title,
+                          const std::string& ylabel, const std::string& output_png,
+                          const std::vector<PlotSeries>& series);
+
+}  // namespace p2ps::metrics

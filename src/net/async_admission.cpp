@@ -1,0 +1,268 @@
+#include "net/async_admission.hpp"
+
+#include <algorithm>
+
+#include "core/ots.hpp"
+#include "util/assert.hpp"
+
+namespace p2ps::net {
+
+SupplierEndpoint::SupplierEndpoint(core::PeerId self, core::PeerClass own_class,
+                                   const Config& config, sim::Simulator& simulator,
+                                   MessageTransport& transport, util::Rng rng)
+    : self_(self),
+      config_(config),
+      simulator_(simulator),
+      transport_(transport),
+      rng_(rng),
+      admission_(config.num_classes, own_class, config.differentiated) {
+  transport_.attach(self_, [this](const Envelope<Message>& envelope) {
+    on_message(envelope);
+  });
+  arm_idle_timer();
+}
+
+SupplierEndpoint::~SupplierEndpoint() {
+  clear_hold();
+  disarm_idle_timer();
+  if (watchdog_event_.valid()) simulator_.cancel(watchdog_event_);
+  transport_.detach(self_);
+}
+
+void SupplierEndpoint::arm_idle_timer() {
+  disarm_idle_timer();
+  if (config_.t_out <= util::SimTime::zero()) return;
+  if (!admission_.differentiated() || admission_.vector().fully_relaxed()) return;
+  idle_timer_event_ = simulator_.schedule_after(config_.t_out, [this] {
+    idle_timer_event_ = sim::EventId::invalid();
+    if (!admission_.busy()) admission_.on_idle_timeout();
+    arm_idle_timer();
+  });
+}
+
+void SupplierEndpoint::disarm_idle_timer() {
+  if (idle_timer_event_.valid()) {
+    simulator_.cancel(idle_timer_event_);
+    idle_timer_event_ = sim::EventId::invalid();
+  }
+}
+
+void SupplierEndpoint::clear_hold() {
+  if (hold_timeout_event_.valid()) {
+    simulator_.cancel(hold_timeout_event_);
+    hold_timeout_event_ = sim::EventId::invalid();
+  }
+}
+
+void SupplierEndpoint::on_message(const Envelope<Message>& envelope) {
+  if (const auto* probe = std::get_if<Probe>(&envelope.payload)) {
+    ProbeResponse response;
+    response.supplier_class = admission_.own_class();
+    if (holding()) {
+      // A granted-but-uncommitted slot: report busy, but do not count this
+      // as a favored-class request turned away — no session is running.
+      response.reply = core::ProbeReply::kBusy;
+      response.favors_requester =
+          admission_.vector().favors(probe->requester_class);
+    } else {
+      const core::ProbeOutcome outcome =
+          admission_.handle_probe(probe->requester_class, rng_);
+      response.reply = outcome.reply;
+      response.favors_requester = outcome.favors_requester;
+      if (outcome.reply == core::ProbeReply::kGranted) {
+        // Hold the slot for the requester until commit, release or timeout.
+        hold_timeout_event_ =
+            simulator_.schedule_after(config_.hold_timeout, [this] {
+              hold_timeout_event_ = sim::EventId::invalid();
+            });
+      }
+    }
+    transport_.send(self_, envelope.from, response);
+    return;
+  }
+
+  if (const auto* start = std::get_if<StartSession>(&envelope.payload)) {
+    // Commit is only honoured while the hold stands; a late StartSession
+    // (after the hold timed out) is refused by simply ignoring it — the
+    // requester's own response timeout handles the fallout.
+    if (holding()) {
+      clear_hold();
+      disarm_idle_timer();
+      admission_.on_session_start();
+      active_session_ = start->session;
+      if (config_.session_watchdog > util::SimTime::zero()) {
+        watchdog_event_ = simulator_.schedule_after(config_.session_watchdog, [this] {
+          watchdog_event_ = sim::EventId::invalid();
+          // Teardown never arrived: free the slot unilaterally.
+          if (admission_.busy()) end_session();
+        });
+      }
+    }
+    return;
+  }
+
+  if (std::holds_alternative<Release>(envelope.payload)) {
+    clear_hold();
+    return;
+  }
+
+  if (const auto* reminder = std::get_if<Reminder>(&envelope.payload)) {
+    // Reminders only make sense while the session that caused the busy
+    // answer is still running; stale ones are dropped.
+    if (admission_.busy()) {
+      admission_.leave_reminder(reminder->requester_class);
+    }
+    return;
+  }
+
+  if (const auto* end = std::get_if<EndSession>(&envelope.payload)) {
+    // Only the session we are actually serving may free the slot; stale or
+    // misdirected teardowns are ignored.
+    if (admission_.busy() && end->session == active_session_) {
+      end_session();
+    }
+    return;
+  }
+}
+
+void SupplierEndpoint::end_session() {
+  P2PS_REQUIRE_MSG(admission_.busy(), "no session to end");
+  if (watchdog_event_.valid()) {
+    simulator_.cancel(watchdog_event_);
+    watchdog_event_ = sim::EventId::invalid();
+  }
+  admission_.on_session_end();
+  active_session_ = core::SessionId::invalid();
+  arm_idle_timer();
+}
+
+void SupplierEndpoint::idle_elevate() {
+  if (!admission_.busy()) admission_.on_idle_timeout();
+}
+
+AsyncAdmissionAttempt::AsyncAdmissionAttempt(core::PeerId self, core::PeerClass own_class,
+                                             core::SessionId session,
+                                             std::vector<lookup::CandidateInfo> candidates,
+                                             const Config& config,
+                                             sim::Simulator& simulator,
+                                             MessageTransport& transport, Callback done)
+    : self_(self),
+      own_class_(own_class),
+      session_(session),
+      config_(config),
+      simulator_(simulator),
+      transport_(transport),
+      done_(std::move(done)) {
+  P2PS_REQUIRE(done_ != nullptr);
+  candidates_.reserve(candidates.size());
+  for (auto& candidate : candidates) {
+    P2PS_REQUIRE_MSG(candidate.id != self_, "requester cannot probe itself");
+    candidates_.push_back(CandidateState{candidate, std::nullopt});
+  }
+}
+
+AsyncAdmissionAttempt::~AsyncAdmissionAttempt() {
+  if (timeout_event_.valid()) simulator_.cancel(timeout_event_);
+  if (started_) transport_.detach(self_);
+}
+
+void AsyncAdmissionAttempt::start() {
+  P2PS_REQUIRE_MSG(!started_, "attempt already started");
+  started_ = true;
+  transport_.attach(self_, [this](const Envelope<Message>& envelope) {
+    on_message(envelope);
+  });
+  timeout_event_ = simulator_.schedule_after(config_.response_timeout, [this] {
+    timeout_event_ = sim::EventId::invalid();
+    conclude();
+  });
+  for (const auto& candidate : candidates_) {
+    transport_.send(self_, candidate.info.id, Probe{own_class_});
+  }
+  if (candidates_.empty()) conclude();
+}
+
+void AsyncAdmissionAttempt::on_message(const Envelope<Message>& envelope) {
+  const auto* response = std::get_if<ProbeResponse>(&envelope.payload);
+  if (response == nullptr || concluded_) return;
+
+  for (auto& candidate : candidates_) {
+    if (candidate.info.id == envelope.from && !candidate.response.has_value()) {
+      candidate.response = *response;
+      break;
+    }
+  }
+  const bool all_answered =
+      std::all_of(candidates_.begin(), candidates_.end(),
+                  [](const CandidateState& c) { return c.response.has_value(); });
+  if (all_answered) conclude();
+}
+
+void AsyncAdmissionAttempt::conclude() {
+  if (concluded_) return;
+  concluded_ = true;
+  if (timeout_event_.valid()) {
+    simulator_.cancel(timeout_event_);
+    timeout_event_ = sim::EventId::invalid();
+  }
+
+  Result result;
+  result.session = session_;
+
+  std::vector<std::size_t> granted;       // indices into candidates_
+  std::vector<core::PeerClass> granted_classes;
+  std::vector<core::BusyCandidate> busy;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const auto& candidate = candidates_[i];
+    if (!candidate.response.has_value()) continue;  // down / lost message
+    ++result.responses;
+    switch (candidate.response->reply) {
+      case core::ProbeReply::kGranted:
+        granted.push_back(i);
+        granted_classes.push_back(candidate.info.cls);
+        break;
+      case core::ProbeReply::kBusy:
+        busy.push_back(core::BusyCandidate{i, candidate.info.cls,
+                                           candidate.response->favors_requester});
+        break;
+      case core::ProbeReply::kDenied:
+        break;
+    }
+  }
+
+  const core::SelectionResult selection = core::select_exact_cover(granted_classes);
+  if (selection.success()) {
+    std::vector<bool> chosen(granted.size(), false);
+    for (std::size_t pick : selection.chosen) chosen[pick] = true;
+    std::vector<core::PeerClass> session_classes;
+    for (std::size_t g = 0; g < granted.size(); ++g) {
+      const auto& info = candidates_[granted[g]].info;
+      if (chosen[g]) {
+        transport_.send(self_, info.id, StartSession{session_});
+        result.suppliers.push_back(info);
+        session_classes.push_back(info.cls);
+      } else {
+        transport_.send(self_, info.id, Release{});
+      }
+    }
+    result.admitted = true;
+    result.buffering_delay_dt =
+        core::ots_assignment(session_classes).min_buffering_delay_dt();
+  } else {
+    for (std::size_t g : granted) {
+      transport_.send(self_, candidates_[g].info.id, Release{});
+    }
+    if (config_.reminders_enabled) {
+      const auto omega = core::reminder_set(busy, selection.shortfall);
+      for (std::size_t index : omega) {
+        transport_.send(self_, candidates_[index].info.id, Reminder{own_class_});
+        ++result.reminders_left;
+      }
+    }
+  }
+
+  // Callback last: it may destroy this object.
+  done_(result);
+}
+
+}  // namespace p2ps::net

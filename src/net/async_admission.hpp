@@ -1,0 +1,149 @@
+// Message-level (asynchronous) DAC_p2p admission.
+//
+// The paper evaluates DAC_p2p with instantaneous control exchanges (as does
+// src/engine). This module runs the *same* protocol state machines over the
+// lossy, latency-bearing Transport, showing the protocol is genuinely
+// distributed and tolerant of message loss:
+//   * suppliers answer probes locally and place a timeout-guarded hold on a
+//     grant, so a crashed or silent requester cannot pin them forever;
+//   * requesters collect responses until all candidates answered or a
+//     response timeout fires, then commit (StartSession) / abort (Release)
+//     and leave Reminders exactly as in Section 4.2;
+//   * stale reminders that arrive after a session ended are ignored.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/admission/requester.hpp"
+#include "core/admission/supplier.hpp"
+#include "core/ids.hpp"
+#include "core/selection.hpp"
+#include "lookup/lookup_service.hpp"
+#include "net/messages.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2ps::net {
+
+using MessageTransport = Transport<Message>;
+
+/// Supplier-side protocol endpoint: wraps a core::SupplierAdmission and
+/// answers Probe / StartSession / Release / Reminder messages.
+class SupplierEndpoint {
+ public:
+  struct Config {
+    core::PeerClass num_classes = 4;
+    bool differentiated = true;
+    /// How long a grant hold survives without StartSession/Release.
+    util::SimTime hold_timeout = util::SimTime::seconds(10);
+    /// Idle elevation period (paper's T_out). Zero disables the endpoint's
+    /// self-managed idle timer (the host drives idle_elevate() manually).
+    util::SimTime t_out = util::SimTime::zero();
+    /// Self-recovery bound: if no EndSession arrives within this time of a
+    /// session start (e.g. the teardown message was lost), the endpoint
+    /// frees itself. Zero disables the watchdog.
+    util::SimTime session_watchdog = util::SimTime::zero();
+  };
+
+  SupplierEndpoint(core::PeerId self, core::PeerClass own_class, const Config& config,
+                   sim::Simulator& simulator, MessageTransport& transport,
+                   util::Rng rng);
+  ~SupplierEndpoint();
+  SupplierEndpoint(const SupplierEndpoint&) = delete;
+  SupplierEndpoint& operator=(const SupplierEndpoint&) = delete;
+
+  [[nodiscard]] core::PeerId id() const { return self_; }
+  [[nodiscard]] const core::SupplierAdmission& admission() const { return admission_; }
+  [[nodiscard]] bool holding() const { return hold_timeout_event_.valid(); }
+  [[nodiscard]] bool in_session() const { return admission_.busy(); }
+
+  /// Ends the supplier's current session (driven by the session owner) and
+  /// applies the paper's session-end vector update. The message-driven
+  /// equivalent is an EndSession message carrying the session id.
+  void end_session();
+
+  /// Applies the idle-timeout elevation (driven by the host's timer when
+  /// Config::t_out is zero; self-scheduled otherwise).
+  void idle_elevate();
+
+  /// Session this endpoint is currently serving (invalid when idle).
+  [[nodiscard]] core::SessionId active_session() const { return active_session_; }
+
+ private:
+  void on_message(const Envelope<Message>& envelope);
+  void clear_hold();
+  void arm_idle_timer();
+  void disarm_idle_timer();
+
+  core::PeerId self_;
+  Config config_;
+  sim::Simulator& simulator_;
+  MessageTransport& transport_;
+  util::Rng rng_;
+  core::SupplierAdmission admission_;
+  sim::EventId hold_timeout_event_ = sim::EventId::invalid();
+  sim::EventId idle_timer_event_ = sim::EventId::invalid();
+  sim::EventId watchdog_event_ = sim::EventId::invalid();
+  core::SessionId active_session_ = core::SessionId::invalid();
+};
+
+/// One asynchronous admission attempt by a requesting peer.
+///
+/// Owns a temporary transport binding for the requester; invokes `done`
+/// exactly once — after commit, or after rejection (reminders sent).
+class AsyncAdmissionAttempt {
+ public:
+  struct Result {
+    bool admitted = false;
+    core::SessionId session;                      ///< set when admitted
+    std::vector<lookup::CandidateInfo> suppliers; ///< chosen session suppliers
+    std::int64_t buffering_delay_dt = 0;          ///< Theorem-1 delay of the session
+    std::size_t responses = 0;                    ///< probe responses received
+    std::size_t reminders_left = 0;
+  };
+  using Callback = std::function<void(const Result&)>;
+
+  struct Config {
+    /// Give up on unresponsive candidates after this long.
+    util::SimTime response_timeout = util::SimTime::seconds(5);
+    bool reminders_enabled = true;
+  };
+
+  AsyncAdmissionAttempt(core::PeerId self, core::PeerClass own_class,
+                        core::SessionId session,
+                        std::vector<lookup::CandidateInfo> candidates,
+                        const Config& config, sim::Simulator& simulator,
+                        MessageTransport& transport, Callback done);
+  ~AsyncAdmissionAttempt();
+  AsyncAdmissionAttempt(const AsyncAdmissionAttempt&) = delete;
+  AsyncAdmissionAttempt& operator=(const AsyncAdmissionAttempt&) = delete;
+
+  /// Sends the probes. Must be called exactly once.
+  void start();
+
+ private:
+  struct CandidateState {
+    lookup::CandidateInfo info;
+    std::optional<ProbeResponse> response;
+  };
+
+  void on_message(const Envelope<Message>& envelope);
+  void conclude();
+
+  core::PeerId self_;
+  core::PeerClass own_class_;
+  core::SessionId session_;
+  Config config_;
+  sim::Simulator& simulator_;
+  MessageTransport& transport_;
+  Callback done_;
+  std::vector<CandidateState> candidates_;
+  sim::EventId timeout_event_ = sim::EventId::invalid();
+  bool started_ = false;
+  bool concluded_ = false;
+};
+
+}  // namespace p2ps::net

@@ -1,0 +1,50 @@
+// Control-plane message vocabulary of distributed DAC_p2p.
+//
+// One admission attempt exchanges:
+//   requester -> candidate : Probe{requester class}
+//   candidate -> requester : ProbeResponse{grant/deny/busy, favored bit, class}
+//   requester -> supplier  : StartSession{session id}     (chosen grants)
+//   requester -> supplier  : Release{}                    (unused grants)
+//   requester -> busy cand.: Reminder{requester class}    (rejected path)
+// Grants place a hold on the supplier; holds expire after a timeout so a
+// crashed requester cannot pin suppliers forever.
+#pragma once
+
+#include <variant>
+
+#include "core/admission/supplier.hpp"
+#include "core/ids.hpp"
+#include "core/peer_class.hpp"
+
+namespace p2ps::net {
+
+struct Probe {
+  core::PeerClass requester_class;
+};
+
+struct ProbeResponse {
+  core::ProbeReply reply;
+  bool favors_requester = false;
+  core::PeerClass supplier_class = core::kHighestClass;
+};
+
+struct StartSession {
+  core::SessionId session;
+};
+
+struct Release {};
+
+struct Reminder {
+  core::PeerClass requester_class;
+};
+
+/// Sent by the session's requester when playback completes; the supplier
+/// frees its slot and applies the session-end vector update.
+struct EndSession {
+  core::SessionId session;
+};
+
+using Message =
+    std::variant<Probe, ProbeResponse, StartSession, Release, Reminder, EndSession>;
+
+}  // namespace p2ps::net

@@ -1,0 +1,94 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace p2ps::sim {
+
+EventId Simulator::schedule_at(util::SimTime t, Callback cb) {
+  P2PS_REQUIRE_MSG(t >= now_, "cannot schedule an event in the past");
+  P2PS_REQUIRE(cb != nullptr);
+  const EventId id{next_id_++};
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventId Simulator::schedule_after(util::SimTime delay, Callback cb) {
+  P2PS_REQUIRE_MSG(delay >= util::SimTime::zero(), "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+void Simulator::skim_cancelled() {
+  while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
+    queue_.pop();
+  }
+}
+
+bool Simulator::step() {
+  skim_cancelled();
+  if (queue_.empty()) return false;
+
+  const Entry entry = queue_.top();
+  queue_.pop();
+  auto node = callbacks_.extract(entry.id);
+  P2PS_CHECK(!node.empty());
+
+  P2PS_CHECK_MSG(entry.time >= now_, "event queue time order violated");
+  now_ = entry.time;
+  ++executed_;
+  // Move the callback out before invoking: the callback may schedule or
+  // cancel events, growing callbacks_ and invalidating references.
+  Callback cb = std::move(node.mapped());
+  cb();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+std::size_t Simulator::run_until(util::SimTime t) {
+  P2PS_REQUIRE(t >= now_);
+  std::size_t executed = 0;
+  for (;;) {
+    skim_cancelled();
+    if (queue_.empty() || queue_.top().time > t) break;
+    step();
+    ++executed;
+  }
+  now_ = t;
+  return executed;
+}
+
+void Simulator::clear() {
+  callbacks_.clear();
+  queue_ = {};
+}
+
+Periodic::Periodic(Simulator& simulator, util::SimTime start, util::SimTime period,
+                   std::function<void(util::SimTime)> on_tick)
+    : simulator_(simulator), period_(period), on_tick_(std::move(on_tick)) {
+  P2PS_REQUIRE(period_ > util::SimTime::zero());
+  P2PS_REQUIRE(on_tick_ != nullptr);
+  arm(start);
+}
+
+void Periodic::arm(util::SimTime at) {
+  current_ = simulator_.schedule_at(at, [this] {
+    const util::SimTime fired_at = simulator_.now();
+    arm(fired_at + period_);
+    on_tick_(fired_at);
+  });
+}
+
+void Periodic::stop() {
+  if (!running_) return;
+  running_ = false;
+  simulator_.cancel(current_);
+}
+
+}  // namespace p2ps::sim

@@ -1,0 +1,120 @@
+// Discrete-event simulation core.
+//
+// This is the substrate on which the whole reproduction runs: peers,
+// sessions, timers and (in the message-level engine) network deliveries are
+// all events on one totally-ordered timeline. Determinism guarantees:
+//   * events fire in nondecreasing time order;
+//   * events scheduled for the same instant fire in FIFO scheduling order;
+//   * cancellation is O(1) and safe from inside callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/sim_time.hpp"
+#include "util/strong_id.hpp"
+
+namespace p2ps::sim {
+
+struct EventIdTag {};
+using EventId = util::StrongId<EventIdTag>;
+
+/// Single-threaded discrete-event simulator with a virtual clock.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Starts at zero.
+  [[nodiscard]] util::SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must not be in the past).
+  EventId schedule_at(util::SimTime t, Callback cb);
+
+  /// Schedules `cb` after `delay` (must be non-negative).
+  EventId schedule_after(util::SimTime delay, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  /// Safe to call with already-fired or already-cancelled ids.
+  bool cancel(EventId id);
+
+  /// Returns true if the event is still pending.
+  [[nodiscard]] bool pending(EventId id) const { return callbacks_.contains(id); }
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending_count() const { return callbacks_.size(); }
+
+  /// Executes the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until no events remain (or `max_events` fired). Returns the number
+  /// of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs all events with time <= `t`, then advances the clock to exactly
+  /// `t`. Returns the number of events executed.
+  std::size_t run_until(util::SimTime t);
+
+  /// Total events executed over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+
+  /// Drops all pending events without executing them.
+  void clear();
+
+ private:
+  struct Entry {
+    util::SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    EventId id;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops entries until one with a live callback is at the top.
+  void skim_cancelled();
+
+  util::SimTime now_ = util::SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+/// Self-rescheduling periodic callback, e.g. hourly metric sampling.
+///
+/// The callback fires first at `start`, then every `period` until `stop()`
+/// is called or the simulator runs out of other events and `run_until`'s
+/// horizon passes.
+class Periodic {
+ public:
+  /// Ties the timer to `simulator`, which must outlive this object.
+  Periodic(Simulator& simulator, util::SimTime start, util::SimTime period,
+           std::function<void(util::SimTime)> on_tick);
+  ~Periodic() { stop(); }
+  Periodic(const Periodic&) = delete;
+  Periodic& operator=(const Periodic&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm(util::SimTime at);
+
+  Simulator& simulator_;
+  util::SimTime period_;
+  std::function<void(util::SimTime)> on_tick_;
+  EventId current_ = EventId::invalid();
+  bool running_ = true;
+};
+
+}  // namespace p2ps::sim

@@ -1,0 +1,70 @@
+// Contract-checking macros.
+//
+// The library uses narrow contracts on internal code and throws on public
+// API misuse so that violations are testable (per C++ Core Guidelines I.6 /
+// E.12: report precondition violations where recovery/testing is intended).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace p2ps::util {
+
+/// Thrown when a P2PS_REQUIRE / P2PS_ENSURE / P2PS_CHECK contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace p2ps::util
+
+/// Precondition check on public entry points. Always enabled.
+#define P2PS_REQUIRE(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::p2ps::util::detail::contract_fail("precondition", #expr, __FILE__, \
+                                          __LINE__, "");                   \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define P2PS_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::p2ps::util::detail::contract_fail("precondition", #expr, __FILE__, \
+                                          __LINE__, (msg));                 \
+  } while (false)
+
+/// Internal invariant check. Always enabled (cheap checks only).
+#define P2PS_CHECK(expr)                                                    \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::p2ps::util::detail::contract_fail("invariant", #expr, __FILE__,    \
+                                          __LINE__, "");                   \
+  } while (false)
+
+#define P2PS_CHECK_MSG(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::p2ps::util::detail::contract_fail("invariant", #expr, __FILE__,    \
+                                          __LINE__, (msg));                 \
+  } while (false)
+
+/// Postcondition check.
+#define P2PS_ENSURE(expr)                                                   \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::p2ps::util::detail::contract_fail("postcondition", #expr, __FILE__,\
+                                          __LINE__, "");                    \
+  } while (false)

@@ -1,0 +1,112 @@
+#include "util/flags.hpp"
+
+#include <charconv>
+
+#include "util/assert.hpp"
+
+namespace p2ps::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  P2PS_REQUIRE(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    P2PS_REQUIRE_MSG(!body.empty() && body[0] != '=', "malformed flag");
+    const std::size_t eq = body.find('=');
+    Entry entry;
+    if (eq != std::string_view::npos) {
+      entry.name = std::string(body.substr(0, eq));
+      entry.value = std::string(body.substr(eq + 1));
+      entry.has_value = true;
+    } else {
+      entry.name = std::string(body);
+      // A following token that is not itself a flag is this flag's value.
+      if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+        entry.value = argv[++i];
+        entry.has_value = true;
+      }
+    }
+    entries_.push_back(std::move(entry));
+  }
+}
+
+const Flags::Entry* Flags::find(std::string_view name) const {
+  // Last occurrence wins, matching common CLI conventions.
+  const Entry* found = nullptr;
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) found = &entry;
+  }
+  if (found != nullptr) found->queried = true;
+  return found;
+}
+
+bool Flags::has(std::string_view name) const { return find(name) != nullptr; }
+
+std::optional<std::string> Flags::value(std::string_view name) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) return std::nullopt;
+  return entry->value;
+}
+
+std::int64_t Flags::get_int(std::string_view name, std::int64_t fallback) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) return fallback;
+  P2PS_REQUIRE_MSG(entry->has_value, "flag requires an integer value");
+  std::int64_t out = 0;
+  const auto* begin = entry->value.data();
+  const auto* end = begin + entry->value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  P2PS_REQUIRE_MSG(ec == std::errc{} && ptr == end, "flag value is not an integer");
+  return out;
+}
+
+double Flags::get_double(std::string_view name, double fallback) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) return fallback;
+  P2PS_REQUIRE_MSG(entry->has_value, "flag requires a numeric value");
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(entry->value, &consumed);
+    P2PS_REQUIRE_MSG(consumed == entry->value.size(), "flag value is not a number");
+    return out;
+  } catch (const std::exception&) {
+    P2PS_REQUIRE_MSG(false, "flag value is not a number");
+  }
+  return fallback;  // unreachable
+}
+
+std::string Flags::get_string(std::string_view name, std::string_view fallback) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) return std::string(fallback);
+  P2PS_REQUIRE_MSG(entry->has_value, "flag requires a value");
+  return entry->value;
+}
+
+bool Flags::get_bool(std::string_view name, bool fallback) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) return fallback;
+  if (!entry->has_value) return true;  // bare --flag
+  if (entry->value == "true" || entry->value == "1" || entry->value == "yes") {
+    return true;
+  }
+  if (entry->value == "false" || entry->value == "0" || entry->value == "no") {
+    return false;
+  }
+  P2PS_REQUIRE_MSG(false, "flag value is not a boolean");
+  return fallback;  // unreachable
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const Entry& entry : entries_) {
+    if (!entry.queried) out.push_back(entry.name);
+  }
+  return out;
+}
+
+}  // namespace p2ps::util

@@ -1,0 +1,46 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+#include "util/sim_time.hpp"
+
+namespace p2ps::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view message) {
+    std::cerr << '[' << to_string(level) << "] " << message << '\n';
+  };
+}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.as_millis() << "ms";
+}
+
+}  // namespace p2ps::util

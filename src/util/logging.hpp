@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// The simulator is hot-path sensitive, so log statements evaluate their
+// stream expressions only when the level is enabled. A single global logger
+// is sufficient for a CLI research library; sinks are swappable for tests.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace p2ps::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// The process-wide logger. Defaults to stderr at kWarn.
+  [[nodiscard]] static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  /// Replaces the output sink (e.g. a capture buffer in tests).
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+}  // namespace p2ps::util
+
+#define P2PS_LOG(level, expr)                                         \
+  do {                                                                \
+    auto& p2ps_logger = ::p2ps::util::Logger::global();               \
+    if (p2ps_logger.enabled(level)) {                                 \
+      std::ostringstream p2ps_log_os;                                 \
+      p2ps_log_os << expr;                                            \
+      p2ps_logger.log(level, p2ps_log_os.str());                      \
+    }                                                                 \
+  } while (false)
+
+#define P2PS_TRACE(expr) P2PS_LOG(::p2ps::util::LogLevel::kTrace, expr)
+#define P2PS_DEBUG(expr) P2PS_LOG(::p2ps::util::LogLevel::kDebug, expr)
+#define P2PS_INFO(expr) P2PS_LOG(::p2ps::util::LogLevel::kInfo, expr)
+#define P2PS_WARN(expr) P2PS_LOG(::p2ps::util::LogLevel::kWarn, expr)
+#define P2PS_ERROR(expr) P2PS_LOG(::p2ps::util::LogLevel::kError, expr)

@@ -1,0 +1,83 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace p2ps::util {
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) {
+  P2PS_REQUIRE(bound > 0);
+  // Lemire-style rejection keeps the draw unbiased.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  P2PS_REQUIRE(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(uniform_below(span));
+}
+
+double Rng::uniform01() {
+  // 53 random bits mapped to [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  P2PS_REQUIRE(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double rate) {
+  P2PS_REQUIRE(rate > 0.0);
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k, bool clamp) {
+  if (clamp) k = std::min(k, n);
+  P2PS_REQUIRE(k <= n);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+
+  if (k * 4 <= n) {
+    // Floyd's algorithm: k set insertions, no O(n) memory touch.
+    std::unordered_set<std::size_t> chosen;
+    chosen.reserve(k * 2);
+    for (std::size_t j = n - k; j < n; ++j) {
+      std::size_t t = static_cast<std::size_t>(uniform_below(j + 1));
+      if (!chosen.insert(t).second) {
+        chosen.insert(j);
+        out.push_back(j);
+      } else {
+        out.push_back(t);
+      }
+    }
+  } else {
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + static_cast<std::size_t>(uniform_below(n - i));
+      std::swap(pool[i], pool[j]);
+    }
+    out.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+  return out;
+}
+
+}  // namespace p2ps::util

@@ -1,0 +1,106 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2ps::util {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const {
+  P2PS_REQUIRE(n_ > 0);
+  return mean_;
+}
+
+double RunningStat::variance() const {
+  P2PS_REQUIRE(n_ > 1);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const {
+  P2PS_REQUIRE(n_ > 0);
+  return min_;
+}
+
+double RunningStat::max() const {
+  P2PS_REQUIRE(n_ > 0);
+  return max_;
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  P2PS_REQUIRE(hi > lo);
+  P2PS_REQUIRE(bins > 0);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  P2PS_REQUIRE(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::fraction(std::size_t i) const {
+  P2PS_REQUIRE(total_ > 0);
+  return static_cast<double>(bin_count(i)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  P2PS_REQUIRE(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return bin_lo(i) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double percentile(std::vector<double> samples, double p) {
+  P2PS_REQUIRE(!samples.empty());
+  P2PS_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (p == 0.0) return samples.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  return samples[std::min(rank, samples.size()) - 1];
+}
+
+}  // namespace p2ps::util

@@ -1,0 +1,51 @@
+// Phantom-tagged integer identifiers.
+//
+// Peer ids, session ids and event ids are all integers at heart; distinct
+// tag types prevent accidentally passing one where another is expected
+// (C++ Core Guidelines I.4: make interfaces precisely and strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+
+namespace p2ps::util {
+
+/// A strongly-typed id. `Tag` is any (possibly incomplete) marker type.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr StrongId() = default;
+  explicit constexpr StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  /// Sentinel meaning "no id"; default-constructed ids are invalid.
+  [[nodiscard]] static constexpr StrongId invalid() {
+    return StrongId{static_cast<underlying_type>(-1)};
+  }
+  [[nodiscard]] constexpr bool valid() const { return *this != invalid(); }
+
+ private:
+  underlying_type value_ = static_cast<underlying_type>(-1);
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  return os << '#' << id.value();
+}
+
+}  // namespace p2ps::util
+
+template <typename Tag>
+struct std::hash<p2ps::util::StrongId<Tag>> {
+  std::size_t operator()(p2ps::util::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

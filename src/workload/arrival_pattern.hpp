@@ -1,0 +1,88 @@
+// First-time request arrival patterns (paper Section 5.1).
+//
+// The paper evaluates four arrival patterns over the first 72 hours; their
+// exact constants live in the unavailable tech report [13], so this module
+// implements the described *shapes* (see DESIGN.md, substitutions):
+//   Pattern 1 — constant arrivals;
+//   Pattern 2 — gradually increasing then gradually decreasing;
+//   Pattern 3 — initial burst, then lower constant arrivals;
+//   Pattern 4 — periodic bursts with a low constant floor between bursts.
+//
+// A pattern is a piecewise-constant rate function, normalized so that
+// exactly `total` arrivals land in the window; individual arrival times are
+// placed at rate-weighted quantiles, which makes runs deterministic and the
+// cumulative-arrival curve exact (the stochastic element of the evaluation
+// stays in the protocol, where the paper puts it).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::workload {
+
+enum class ArrivalPattern : int {
+  kConstant = 1,
+  kRampUpDown = 2,
+  kBurstThenConstant = 3,
+  kPeriodicBursts = 4,
+};
+
+[[nodiscard]] std::string_view to_string(ArrivalPattern pattern);
+
+/// One piece of a piecewise-constant rate function: `weight` is the
+/// fraction of all arrivals carried by this piece (pieces are normalized).
+struct RatePiece {
+  util::SimTime duration;
+  double weight;
+};
+
+class ArrivalSchedule {
+ public:
+  /// Builds one of the paper's four patterns: `total` arrivals spread over
+  /// `window` (the paper: 50,000 over 72 h).
+  [[nodiscard]] static ArrivalSchedule make(ArrivalPattern pattern, std::int64_t total,
+                                            util::SimTime window);
+
+  /// Builds a custom pattern from explicit pieces (weights need not be
+  /// normalized; durations must be positive and sum to the window).
+  [[nodiscard]] static ArrivalSchedule from_pieces(std::vector<RatePiece> pieces,
+                                                   std::int64_t total);
+
+  /// Like make(), but arrival times are sampled i.i.d. from the pattern's
+  /// density instead of quantile-placed — the stochastic-arrival variant
+  /// (conditioned on the exact total, this is a Poisson process given N).
+  [[nodiscard]] static ArrivalSchedule make_sampled(ArrivalPattern pattern,
+                                                    std::int64_t total,
+                                                    util::SimTime window,
+                                                    util::Rng& rng);
+
+  /// Arrival times, sorted ascending, exactly `total` of them, all within
+  /// [0, window).
+  [[nodiscard]] const std::vector<util::SimTime>& times() const { return times_; }
+
+  [[nodiscard]] std::int64_t total() const {
+    return static_cast<std::int64_t>(times_.size());
+  }
+  [[nodiscard]] util::SimTime window() const { return window_; }
+
+  /// Instantaneous arrival rate at `t`, in arrivals per hour (zero outside
+  /// the window). For inspection and tests.
+  [[nodiscard]] double rate_per_hour_at(util::SimTime t) const;
+
+  /// Number of arrivals in [from, to).
+  [[nodiscard]] std::int64_t arrivals_between(util::SimTime from, util::SimTime to) const;
+
+ private:
+  ArrivalSchedule(std::vector<RatePiece> pieces, std::int64_t total,
+                  util::Rng* rng = nullptr);
+
+  std::vector<RatePiece> pieces_;  // weights normalized to sum 1
+  util::SimTime window_ = util::SimTime::zero();
+  std::vector<util::SimTime> times_;
+};
+
+}  // namespace p2ps::workload

@@ -1,0 +1,71 @@
+#include "workload/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace p2ps::workload {
+
+void validate(const PopulationConfig& config) {
+  P2PS_REQUIRE(config.num_classes >= 1 &&
+               config.num_classes <= core::kMaxSupportedClasses);
+  core::require_valid_class(config.seed_class, config.num_classes);
+  P2PS_REQUIRE(config.seeds >= 0);
+  P2PS_REQUIRE(config.requesters >= 0);
+  P2PS_REQUIRE(static_cast<core::PeerClass>(config.class_fractions.size()) ==
+               config.num_classes);
+  double sum = 0.0;
+  for (double f : config.class_fractions) {
+    P2PS_REQUIRE(f >= 0.0);
+    sum += f;
+  }
+  P2PS_REQUIRE_MSG(std::abs(sum - 1.0) < 1e-9, "class fractions must sum to 1");
+}
+
+std::vector<core::PeerClass> build_requester_classes(const PopulationConfig& config,
+                                                     util::Rng& rng) {
+  validate(config);
+  const auto n = static_cast<std::size_t>(config.requesters);
+
+  // Largest-remainder apportionment: exact class counts.
+  std::vector<std::int64_t> counts(config.class_fractions.size());
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double exact = config.class_fractions[i] * static_cast<double>(n);
+    counts[i] = static_cast<std::int64_t>(std::floor(exact));
+    assigned += counts[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; assigned < config.requesters; ++i) {
+    ++counts[remainders[i % remainders.size()].second];
+    ++assigned;
+  }
+
+  std::vector<core::PeerClass> classes;
+  classes.reserve(n);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    classes.insert(classes.end(), static_cast<std::size_t>(counts[i]),
+                   static_cast<core::PeerClass>(i + 1));
+  }
+  rng.shuffle(std::span<core::PeerClass>(classes));
+  return classes;
+}
+
+std::int64_t max_possible_capacity(const PopulationConfig& config) {
+  validate(config);
+  core::Bandwidth total =
+      config.seeds * core::Bandwidth::class_offer(config.seed_class);
+  // Exact per-class counts, mirroring build_requester_classes.
+  util::Rng scratch(0);
+  const auto classes = build_requester_classes(config, scratch);
+  for (core::PeerClass c : classes) total += core::Bandwidth::class_offer(c);
+  return core::capacity(total);
+}
+
+}  // namespace p2ps::workload

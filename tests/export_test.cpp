@@ -1,0 +1,101 @@
+// Tests for the CSV / gnuplot export of metric series.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "metrics/export.hpp"
+#include "util/assert.hpp"
+
+namespace p2ps::metrics {
+namespace {
+
+using util::SimTime;
+
+std::vector<HourlySample> two_samples() {
+  std::vector<HourlySample> samples;
+  HourlySample s0;
+  s0.t = SimTime::hours(0);
+  s0.capacity = 50;
+  s0.active_sessions = 0;
+  s0.suppliers = 100;
+  s0.per_class.resize(2);
+  samples.push_back(s0);
+
+  HourlySample s1;
+  s1.t = SimTime::hours(1);
+  s1.capacity = 60;
+  s1.active_sessions = 3;
+  s1.suppliers = 120;
+  s1.per_class.resize(2);
+  s1.per_class[0].first_requests = 10;
+  s1.per_class[0].admissions = 5;
+  s1.per_class[0].buffering_delay_dt_sum = 15.0;
+  s1.per_class[0].rejections_before_admission_sum = 10;
+  samples.push_back(s1);
+  return samples;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::size_t count_commas(const std::string& line) {
+  return static_cast<std::size_t>(std::count(line.begin(), line.end(), ','));
+}
+
+TEST(ExportCsv, HourlyHeaderAndRows) {
+  std::ostringstream os;
+  write_hourly_csv(os, two_samples(), 2);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].substr(0, 4), "hour");
+  // header and rows have the same column count: 4 + 2 classes * 5.
+  for (const auto& line : lines) {
+    EXPECT_EQ(count_commas(line), 3u + 2u * 5u);
+  }
+  // Derived fields are empty before any request, filled afterwards.
+  EXPECT_NE(lines[1].find(",,"), std::string::npos);
+  EXPECT_NE(lines[2].find("50.0000"), std::string::npos);   // admission rate %
+  EXPECT_NE(lines[2].find("3.0000"), std::string::npos);    // mean delay
+  EXPECT_NE(lines[2].find("2.0000"), std::string::npos);    // mean rejections
+}
+
+TEST(ExportCsv, FavoredSeries) {
+  std::vector<FavoredSample> samples;
+  FavoredSample sample;
+  sample.t = SimTime::hours(3);
+  sample.avg_lowest_favored = {1.5, std::nan(""), 4.0, 4.0};
+  samples.push_back(sample);
+  std::ostringstream os;
+  write_favored_csv(os, samples, 4);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "3,1.5000,,4.0000,4.0000");  // NaN -> empty cell
+}
+
+TEST(ExportGnuplot, ScriptReferencesAllSeries) {
+  std::ostringstream os;
+  write_gnuplot_script(os, "Figure 4", "Total system capacity", "fig4.png",
+                       {{"dac.csv", "DAC_p2p", 2}, {"ndac.csv", "NDAC_p2p", 2}});
+  const std::string script = os.str();
+  EXPECT_NE(script.find("set output 'fig4.png'"), std::string::npos);
+  EXPECT_NE(script.find("'dac.csv' using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("title 'NDAC_p2p'"), std::string::npos);
+  EXPECT_NE(script.find("separator ','"), std::string::npos);
+}
+
+TEST(ExportGnuplot, EmptySeriesRejected) {
+  std::ostringstream os;
+  EXPECT_THROW(write_gnuplot_script(os, "t", "y", "o.png", {}),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace p2ps::metrics

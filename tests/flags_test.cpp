@@ -1,0 +1,85 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/flags.hpp"
+
+namespace p2ps::util {
+namespace {
+
+Flags parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags flags = parse({"--seed=42", "--skew=1.5", "--name=abc"});
+  EXPECT_EQ(flags.get_int("seed", 0), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("skew", 0.0), 1.5);
+  EXPECT_EQ(flags.get_string("name", ""), "abc");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags flags = parse({"--seed", "7", "--name", "xyz"});
+  EXPECT_EQ(flags.get_int("seed", 0), 7);
+  EXPECT_EQ(flags.get_string("name", ""), "xyz");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags flags = parse({});
+  EXPECT_EQ(flags.get_int("seed", 99), 99);
+  EXPECT_DOUBLE_EQ(flags.get_double("skew", 0.5), 0.5);
+  EXPECT_EQ(flags.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.has("seed"));
+}
+
+TEST(Flags, BooleanForms) {
+  EXPECT_TRUE(parse({"--verbose"}).get_bool("verbose", false));
+  EXPECT_TRUE(parse({"--verbose=true"}).get_bool("verbose", false));
+  EXPECT_TRUE(parse({"--verbose=1"}).get_bool("verbose", false));
+  EXPECT_FALSE(parse({"--verbose=false"}).get_bool("verbose", true));
+  EXPECT_FALSE(parse({"--verbose=no"}).get_bool("verbose", true));
+  EXPECT_THROW((void)parse({"--verbose=maybe"}).get_bool("verbose", true),
+               ContractViolation);
+}
+
+TEST(Flags, Positional) {
+  const Flags flags = parse({"1", "--seed=3", "2", "3"});
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(flags.program(), "prog");
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  const Flags flags = parse({"--seed=1", "--seed=2"});
+  EXPECT_EQ(flags.get_int("seed", 0), 2);
+}
+
+TEST(Flags, MalformedValuesThrow) {
+  EXPECT_THROW((void)parse({"--seed=abc"}).get_int("seed", 0), ContractViolation);
+  EXPECT_THROW((void)parse({"--seed=12x"}).get_int("seed", 0), ContractViolation);
+  EXPECT_THROW((void)parse({"--skew=abc"}).get_double("skew", 0), ContractViolation);
+  EXPECT_THROW((void)parse({"--seed"}).get_int("seed", 0), ContractViolation);
+  EXPECT_THROW(parse({"--=x"}), ContractViolation);
+  EXPECT_THROW(parse({"--"}), ContractViolation);
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  // "--delta -5" — the following token starts with '-' but not "--", so it
+  // is consumed as the value.
+  const Flags flags = parse({"--delta", "-5"});
+  EXPECT_EQ(flags.get_int("delta", 0), -5);
+}
+
+TEST(Flags, UnusedTracking) {
+  const Flags flags = parse({"--seed=1", "--typo=2"});
+  (void)flags.get_int("seed", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace p2ps::util

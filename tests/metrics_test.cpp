@@ -1,0 +1,116 @@
+// Tests for the metrics collector: counters, derived rates and sampling.
+#include <gtest/gtest.h>
+
+#include "metrics/collector.hpp"
+#include "util/assert.hpp"
+
+namespace p2ps::metrics {
+namespace {
+
+using util::SimTime;
+
+TEST(ClassCounters, DerivedValuesHandleEmpty) {
+  const ClassCounters counters;
+  EXPECT_FALSE(counters.admission_rate().has_value());
+  EXPECT_FALSE(counters.mean_delay_dt().has_value());
+  EXPECT_FALSE(counters.mean_rejections().has_value());
+  EXPECT_FALSE(counters.mean_waiting_minutes().has_value());
+}
+
+TEST(Collector, CountsFlowThrough) {
+  MetricsCollector collector(4);
+  collector.on_first_request(1);
+  collector.on_first_request(1);
+  collector.on_attempt(1);
+  collector.on_attempt(1);
+  collector.on_attempt(1);
+  collector.on_rejection(1);
+  collector.on_admission(1, /*rejections_before=*/1, /*delay_dt=*/3,
+                         SimTime::minutes(10));
+
+  const auto& counters = collector.totals(1);
+  EXPECT_EQ(counters.first_requests, 2);
+  EXPECT_EQ(counters.attempts, 3);
+  EXPECT_EQ(counters.rejections, 1);
+  EXPECT_EQ(counters.admissions, 1);
+  EXPECT_DOUBLE_EQ(*counters.admission_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(*counters.mean_delay_dt(), 3.0);
+  EXPECT_DOUBLE_EQ(*counters.mean_rejections(), 1.0);
+  EXPECT_DOUBLE_EQ(*counters.mean_waiting_minutes(), 10.0);
+}
+
+TEST(Collector, ClassesAreIndependent) {
+  MetricsCollector collector(4);
+  collector.on_first_request(2);
+  collector.on_admission(3, 0, 2, SimTime::zero());
+  EXPECT_EQ(collector.totals(2).first_requests, 1);
+  EXPECT_EQ(collector.totals(2).admissions, 0);
+  EXPECT_EQ(collector.totals(3).admissions, 1);
+  EXPECT_EQ(collector.totals(1).first_requests, 0);
+}
+
+TEST(Collector, OverallSumsClasses) {
+  MetricsCollector collector(4);
+  for (core::PeerClass c = 1; c <= 4; ++c) {
+    collector.on_first_request(c);
+    collector.on_attempt(c);
+    collector.on_admission(c, 1, c, SimTime::minutes(c));
+  }
+  const auto overall = collector.overall();
+  EXPECT_EQ(overall.first_requests, 4);
+  EXPECT_EQ(overall.admissions, 4);
+  EXPECT_EQ(overall.rejections_before_admission_sum, 4);
+  EXPECT_DOUBLE_EQ(overall.buffering_delay_dt_sum, 1 + 2 + 3 + 4);
+}
+
+TEST(Collector, HourlySamplesSnapshotCounters) {
+  MetricsCollector collector(2);
+  collector.on_first_request(1);
+  collector.hourly_sample(SimTime::hours(1), /*capacity=*/5, /*active=*/1,
+                          /*suppliers=*/10);
+  collector.on_first_request(1);
+  collector.hourly_sample(SimTime::hours(2), 7, 2, 12);
+
+  const auto& samples = collector.hourly();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].t, SimTime::hours(1));
+  EXPECT_EQ(samples[0].capacity, 5);
+  EXPECT_EQ(samples[0].per_class[0].first_requests, 1);
+  EXPECT_EQ(samples[1].per_class[0].first_requests, 2);
+  EXPECT_EQ(samples[1].suppliers, 12);
+}
+
+TEST(Collector, SamplesMustBeTimeOrdered) {
+  MetricsCollector collector(2);
+  collector.hourly_sample(SimTime::hours(2), 0, 0, 0);
+  EXPECT_THROW(collector.hourly_sample(SimTime::hours(1), 0, 0, 0),
+               util::ContractViolation);
+}
+
+TEST(Collector, FavoredSamples) {
+  MetricsCollector collector(4);
+  FavoredSample sample;
+  sample.t = SimTime::hours(3);
+  sample.avg_lowest_favored = {1.0, 2.0, 3.5, 4.0};
+  collector.favored_sample(sample);
+  ASSERT_EQ(collector.favored().size(), 1u);
+  EXPECT_DOUBLE_EQ(collector.favored()[0].avg_lowest_favored[2], 3.5);
+
+  FavoredSample wrong;
+  wrong.t = SimTime::hours(6);
+  wrong.avg_lowest_favored = {1.0};
+  EXPECT_THROW(collector.favored_sample(wrong), util::ContractViolation);
+}
+
+TEST(Collector, ValidatesClassRange) {
+  MetricsCollector collector(2);
+  EXPECT_THROW(collector.on_first_request(3), util::ContractViolation);
+  EXPECT_THROW(collector.on_admission(0, 0, 0, SimTime::zero()),
+               util::ContractViolation);
+  EXPECT_THROW(collector.on_admission(1, -1, 0, SimTime::zero()),
+               util::ContractViolation);
+  EXPECT_THROW((void)collector.totals(5), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace p2ps::metrics

@@ -1,0 +1,309 @@
+// Tests for the message-level substrate: transport semantics and the
+// asynchronous (distributed) DAC_p2p admission round.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/async_admission.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace p2ps::net {
+namespace {
+
+using core::PeerId;
+using util::SimTime;
+
+// ---------- Transport ----------
+
+TEST(Transport, DeliversWithinLatencyBounds) {
+  sim::Simulator simulator;
+  TransportConfig config;
+  config.min_latency = SimTime::millis(10);
+  config.max_latency = SimTime::millis(50);
+  Transport<int> transport(simulator, config, util::Rng(1));
+
+  std::vector<std::int64_t> delivery_times;
+  transport.attach(PeerId{2}, [&](const Envelope<int>& envelope) {
+    EXPECT_EQ(envelope.from, PeerId{1});
+    EXPECT_EQ(envelope.payload, 42);
+    delivery_times.push_back(simulator.now().as_millis());
+  });
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(transport.send(PeerId{1}, PeerId{2}, 42));
+  }
+  simulator.run();
+  ASSERT_EQ(delivery_times.size(), 100u);
+  for (auto t : delivery_times) {
+    EXPECT_GE(t, 10);
+    EXPECT_LE(t, 50);
+  }
+  EXPECT_EQ(transport.sent(), 100u);
+  EXPECT_EQ(transport.delivered(), 100u);
+}
+
+TEST(Transport, DropProbabilityOneLosesEverything) {
+  sim::Simulator simulator;
+  TransportConfig config;
+  config.drop_probability = 1.0;
+  Transport<int> transport(simulator, config, util::Rng(2));
+  int received = 0;
+  transport.attach(PeerId{2}, [&](const Envelope<int>&) { ++received; });
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(transport.send(PeerId{1}, PeerId{2}, i));
+  }
+  simulator.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(transport.dropped(), 10u);
+}
+
+TEST(Transport, PartialLossMatchesProbability) {
+  sim::Simulator simulator;
+  TransportConfig config;
+  config.drop_probability = 0.3;
+  Transport<int> transport(simulator, config, util::Rng(3));
+  int received = 0;
+  transport.attach(PeerId{2}, [&](const Envelope<int>&) { ++received; });
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) transport.send(PeerId{1}, PeerId{2}, i);
+  simulator.run();
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.7, 0.02);
+}
+
+TEST(Transport, DetachedReceiverIsUndeliverable) {
+  sim::Simulator simulator;
+  Transport<std::string> transport(simulator, TransportConfig{}, util::Rng(4));
+  int received = 0;
+  transport.attach(PeerId{9}, [&](const Envelope<std::string>&) { ++received; });
+  transport.send(PeerId{1}, PeerId{9}, "hello");
+  transport.detach(PeerId{9});
+  simulator.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(transport.undeliverable(), 1u);
+  EXPECT_FALSE(transport.attached(PeerId{9}));
+}
+
+TEST(Transport, ZeroLatencyDeliversAtSameInstant) {
+  sim::Simulator simulator;
+  TransportConfig config;
+  config.min_latency = SimTime::zero();
+  config.max_latency = SimTime::zero();
+  Transport<int> transport(simulator, config, util::Rng(5));
+  SimTime seen = SimTime::max();
+  transport.attach(PeerId{2},
+                   [&](const Envelope<int>&) { seen = simulator.now(); });
+  simulator.schedule_at(SimTime::seconds(3),
+                        [&] { transport.send(PeerId{1}, PeerId{2}, 1); });
+  simulator.run();
+  EXPECT_EQ(seen, SimTime::seconds(3));
+}
+
+// ---------- async admission fixture ----------
+
+struct AsyncWorld {
+  sim::Simulator simulator;
+  MessageTransport transport;
+  std::vector<std::unique_ptr<SupplierEndpoint>> suppliers;
+
+  explicit AsyncWorld(TransportConfig config = {})
+      : transport(simulator, config, util::Rng(11)) {}
+
+  SupplierEndpoint& add_supplier(std::uint64_t id, core::PeerClass cls,
+                                 bool differentiated = true) {
+    SupplierEndpoint::Config config;
+    config.num_classes = 4;
+    config.differentiated = differentiated;
+    suppliers.push_back(std::make_unique<SupplierEndpoint>(
+        PeerId{id}, cls, config, simulator, transport, util::Rng(100 + id)));
+    return *suppliers.back();
+  }
+
+  [[nodiscard]] std::vector<lookup::CandidateInfo> all_candidates() const {
+    std::vector<lookup::CandidateInfo> out;
+    for (const auto& supplier : suppliers) {
+      out.push_back({supplier->id(), supplier->admission().own_class()});
+    }
+    return out;
+  }
+};
+
+TEST(AsyncAdmission, SuccessfulSessionCommitsExactlyR0) {
+  AsyncWorld world;
+  world.add_supplier(1, 1);
+  world.add_supplier(2, 1);
+  world.add_supplier(3, 2);
+
+  AsyncAdmissionAttempt::Result result;
+  bool done = false;
+  AsyncAdmissionAttempt attempt(PeerId{50}, /*own_class=*/1, core::SessionId{7},
+                                world.all_candidates(), {}, world.simulator,
+                                world.transport, [&](const auto& r) {
+                                  result = r;
+                                  done = true;
+                                });
+  attempt.start();
+  world.simulator.run();
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.admitted);
+  EXPECT_EQ(result.session, core::SessionId{7});
+  ASSERT_EQ(result.suppliers.size(), 2u);  // greedy: the two class-1 peers
+  EXPECT_EQ(result.buffering_delay_dt, 2);
+  EXPECT_EQ(result.responses, 3u);
+
+  // The chosen suppliers are in session; the released one is free again.
+  EXPECT_TRUE(world.suppliers[0]->in_session());
+  EXPECT_TRUE(world.suppliers[1]->in_session());
+  EXPECT_FALSE(world.suppliers[2]->in_session());
+  EXPECT_FALSE(world.suppliers[2]->holding());
+
+  // Session teardown restores everyone to idle.
+  world.suppliers[0]->end_session();
+  world.suppliers[1]->end_session();
+  EXPECT_FALSE(world.suppliers[0]->in_session());
+}
+
+TEST(AsyncAdmission, InsufficientBandwidthRejects) {
+  AsyncWorld world;
+  world.add_supplier(1, 3);  // 1/8 R0 alone
+  bool admitted = true;
+  AsyncAdmissionAttempt attempt(PeerId{50}, 2, core::SessionId{1},
+                                world.all_candidates(), {}, world.simulator,
+                                world.transport,
+                                [&](const auto& r) { admitted = r.admitted; });
+  attempt.start();
+  world.simulator.run();
+  EXPECT_FALSE(admitted);
+  EXPECT_FALSE(world.suppliers[0]->in_session());
+  EXPECT_FALSE(world.suppliers[0]->holding());  // grant released
+}
+
+TEST(AsyncAdmission, BusySuppliersReceiveReminders) {
+  AsyncWorld world;
+  auto& s1 = world.add_supplier(1, 1);
+  auto& s2 = world.add_supplier(2, 1);
+
+  // First requester takes both suppliers.
+  bool first_admitted = false;
+  AsyncAdmissionAttempt first(PeerId{50}, 1, core::SessionId{1},
+                              world.all_candidates(), {}, world.simulator,
+                              world.transport,
+                              [&](const auto& r) { first_admitted = r.admitted; });
+  first.start();
+  world.simulator.run();
+  ASSERT_TRUE(first_admitted);
+  ASSERT_TRUE(s1.in_session() && s2.in_session());
+
+  // Second (favored class 1) requester finds everyone busy: rejected, and
+  // reminders land on busy candidates covering the full shortfall R0.
+  AsyncAdmissionAttempt::Result second_result;
+  AsyncAdmissionAttempt second(PeerId{51}, 1, core::SessionId{2},
+                               world.all_candidates(), {}, world.simulator,
+                               world.transport,
+                               [&](const auto& r) { second_result = r; });
+  second.start();
+  world.simulator.run();
+  EXPECT_FALSE(second_result.admitted);
+  EXPECT_EQ(second_result.reminders_left, 2u);
+  EXPECT_FALSE(s1.admission().pending_reminders().empty());
+
+  // Ending the session applies the tightening rule.
+  s1.end_session();
+  EXPECT_EQ(s1.admission().vector(), core::AdmissionProbabilityVector(4, 1));
+}
+
+TEST(AsyncAdmission, RemindersCanBeDisabled) {
+  AsyncWorld world;
+  auto& s1 = world.add_supplier(1, 1);
+  world.add_supplier(2, 1);
+  bool ok = false;
+  AsyncAdmissionAttempt first(PeerId{50}, 1, core::SessionId{1},
+                              world.all_candidates(), {}, world.simulator,
+                              world.transport, [&](const auto& r) { ok = r.admitted; });
+  first.start();
+  world.simulator.run();
+  ASSERT_TRUE(ok);
+
+  AsyncAdmissionAttempt::Config config;
+  config.reminders_enabled = false;
+  AsyncAdmissionAttempt::Result result;
+  AsyncAdmissionAttempt second(PeerId{51}, 1, core::SessionId{2},
+                               world.all_candidates(), config, world.simulator,
+                               world.transport, [&](const auto& r) { result = r; });
+  second.start();
+  world.simulator.run();
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.reminders_left, 0u);
+  EXPECT_TRUE(s1.admission().pending_reminders().empty());
+}
+
+TEST(AsyncAdmission, TotalMessageLossTimesOutAndRejects) {
+  TransportConfig lossy;
+  lossy.drop_probability = 1.0;
+  AsyncWorld world(lossy);
+  world.add_supplier(1, 1);
+  world.add_supplier(2, 1);
+
+  AsyncAdmissionAttempt::Result result;
+  bool done = false;
+  AsyncAdmissionAttempt attempt(PeerId{50}, 1, core::SessionId{1},
+                                world.all_candidates(), {}, world.simulator,
+                                world.transport, [&](const auto& r) {
+                                  result = r;
+                                  done = true;
+                                });
+  attempt.start();
+  world.simulator.run();
+  EXPECT_TRUE(done);  // the response timeout concluded the attempt
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.responses, 0u);
+  EXPECT_FALSE(world.suppliers[0]->in_session());
+}
+
+TEST(AsyncAdmission, HoldExpiresWhenRequesterVanishes) {
+  AsyncWorld world;
+  auto& supplier = world.add_supplier(1, 1);
+
+  // A bare probe with no follow-up: the hold must expire on its own.
+  world.transport.attach(PeerId{99}, [](const Envelope<Message>&) {});
+  world.transport.send(PeerId{99}, PeerId{1}, Probe{1});
+  world.simulator.run_until(SimTime::seconds(1));
+  EXPECT_TRUE(supplier.holding());
+  world.simulator.run_until(SimTime::seconds(30));  // > hold_timeout (10 s)
+  EXPECT_FALSE(supplier.holding());
+  EXPECT_FALSE(supplier.in_session());
+}
+
+TEST(AsyncAdmission, HeldSupplierAnswersBusy) {
+  AsyncWorld world;
+  world.add_supplier(1, 1);
+  std::vector<ProbeResponse> responses;
+  world.transport.attach(PeerId{99}, [&](const Envelope<Message>& envelope) {
+    if (const auto* r = std::get_if<ProbeResponse>(&envelope.payload)) {
+      responses.push_back(*r);
+    }
+  });
+  world.transport.send(PeerId{99}, PeerId{1}, Probe{1});
+  world.simulator.run_until(SimTime::seconds(1));
+  world.transport.send(PeerId{99}, PeerId{1}, Probe{1});  // while held
+  world.simulator.run_until(SimTime::seconds(2));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].reply, core::ProbeReply::kGranted);
+  EXPECT_EQ(responses[1].reply, core::ProbeReply::kBusy);
+}
+
+TEST(AsyncAdmission, StaleReminderIsIgnored) {
+  AsyncWorld world;
+  auto& supplier = world.add_supplier(1, 1);
+  world.transport.attach(PeerId{99}, [](const Envelope<Message>&) {});
+  // Reminder with no running session: dropped.
+  world.transport.send(PeerId{99}, PeerId{1}, Reminder{1});
+  world.simulator.run();
+  EXPECT_TRUE(supplier.admission().pending_reminders().empty());
+}
+
+}  // namespace
+}  // namespace p2ps::net

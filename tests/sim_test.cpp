@@ -1,0 +1,247 @@
+// Unit tests for the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace p2ps::sim {
+namespace {
+
+using util::SimTime;
+
+TEST(Simulator, StartsAtTimeZeroWithNoEvents) {
+  Simulator s;
+  EXPECT_EQ(s.now(), SimTime::zero());
+  EXPECT_EQ(s.pending_count(), 0u);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::seconds(30), [&] { order.push_back(3); });
+  s.schedule_at(SimTime::seconds(10), [&] { order.push_back(1); });
+  s.schedule_at(SimTime::seconds(20), [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), SimTime::seconds(30));
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(SimTime::seconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator s;
+  SimTime seen = SimTime::zero();
+  s.schedule_at(SimTime::minutes(7), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, SimTime::minutes(7));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator s;
+  std::vector<std::int64_t> times;
+  s.schedule_at(SimTime::seconds(10), [&] {
+    s.schedule_after(SimTime::seconds(5), [&] {
+      times.push_back(s.now().as_millis());
+    });
+  });
+  s.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], SimTime::seconds(15).as_millis());
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.schedule_at(SimTime::seconds(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(SimTime::seconds(5), [] {}), util::ContractViolation);
+  EXPECT_THROW(s.schedule_after(SimTime::millis(-1), [] {}), util::ContractViolation);
+}
+
+TEST(Simulator, NullCallbackThrows) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_at(SimTime::seconds(1), nullptr), util::ContractViolation);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int fired = 0;
+  const EventId id = s.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(s.pending(id));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.pending(id));
+  EXPECT_FALSE(s.cancel(id));  // double cancel reports false
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelFromInsideCallback) {
+  Simulator s;
+  int fired = 0;
+  EventId victim = s.schedule_at(SimTime::seconds(2), [&] { ++fired; });
+  s.schedule_at(SimTime::seconds(1), [&] { EXPECT_TRUE(s.cancel(victim)); });
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, ScheduleFromInsideCallback) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::seconds(1), [&] {
+    order.push_back(1);
+    s.schedule_after(SimTime::zero(), [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  EXPECT_EQ(s.run_until(SimTime::hours(3)), 0u);
+  EXPECT_EQ(s.now(), SimTime::hours(3));
+}
+
+TEST(Simulator, RunUntilExecutesOnlyDueEvents) {
+  Simulator s;
+  int early = 0, late = 0;
+  s.schedule_at(SimTime::hours(1), [&] { ++early; });
+  s.schedule_at(SimTime::hours(5), [&] { ++late; });
+  EXPECT_EQ(s.run_until(SimTime::hours(2)), 1u);
+  EXPECT_EQ(early, 1);
+  EXPECT_EQ(late, 0);
+  EXPECT_EQ(s.now(), SimTime::hours(2));
+  EXPECT_EQ(s.pending_count(), 1u);
+  s.run();
+  EXPECT_EQ(late, 1);
+}
+
+TEST(Simulator, RunUntilIncludesBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(SimTime::hours(2), [&] { ++fired; });
+  s.run_until(SimTime::hours(2));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, MaxEventsLimit) {
+  Simulator s;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(SimTime::seconds(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(s.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(s.pending_count(), 6u);
+}
+
+TEST(Simulator, ClearDropsEverything) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  s.clear();
+  s.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(Simulator, ExecutedCountAccumulates) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(SimTime::seconds(i), [] {});
+  s.run();
+  EXPECT_EQ(s.executed_count(), 5u);
+}
+
+TEST(Simulator, RandomizedStressKeepsTimeMonotonic) {
+  Simulator s;
+  util::Rng rng(77);
+  std::vector<std::int64_t> fire_times;
+  int scheduled = 0;
+  // Seed a few initial events; each event may schedule up to two more.
+  std::function<void()> make_event = [&] {
+    fire_times.push_back(s.now().as_millis());
+    if (scheduled < 5000) {
+      const int children = static_cast<int>(rng.uniform_below(3));
+      for (int c = 0; c < children; ++c) {
+        ++scheduled;
+        s.schedule_after(SimTime::millis(rng.uniform_int(0, 1000)), make_event);
+      }
+    }
+  };
+  for (int i = 0; i < 10; ++i) {
+    ++scheduled;
+    s.schedule_at(SimTime::millis(rng.uniform_int(0, 1000)), make_event);
+  }
+  s.run();
+  EXPECT_EQ(fire_times.size(), static_cast<std::size_t>(scheduled));
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+}
+
+TEST(Simulator, ManyCancellationsDoNotLeak) {
+  Simulator s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(s.schedule_at(SimTime::seconds(1), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) s.cancel(ids[i]);
+  EXPECT_EQ(s.pending_count(), 500u);
+  EXPECT_EQ(s.run(), 500u);
+}
+
+// ---------- Periodic ----------
+
+TEST(Periodic, FiresAtFixedCadence) {
+  Simulator s;
+  std::vector<std::int64_t> ticks;
+  Periodic p(s, SimTime::hours(1), SimTime::hours(1),
+             [&](SimTime t) { ticks.push_back(t.as_millis() / 3'600'000); });
+  s.run_until(SimTime::hours(5));
+  p.stop();
+  EXPECT_EQ(ticks, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Periodic, StopHaltsFutureTicks) {
+  Simulator s;
+  int ticks = 0;
+  Periodic p(s, SimTime::hours(1), SimTime::hours(1), [&](SimTime) { ++ticks; });
+  s.run_until(SimTime::hours(2));
+  p.stop();
+  EXPECT_FALSE(p.running());
+  s.run_until(SimTime::hours(10));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(Periodic, DestructorCancels) {
+  Simulator s;
+  int ticks = 0;
+  {
+    Periodic p(s, SimTime::hours(1), SimTime::hours(1), [&](SimTime) { ++ticks; });
+  }
+  s.run_until(SimTime::hours(5));
+  EXPECT_EQ(ticks, 0);
+}
+
+TEST(Periodic, CanCoexistWithOtherEvents) {
+  Simulator s;
+  int ticks = 0, others = 0;
+  Periodic p(s, SimTime::minutes(30), SimTime::minutes(30), [&](SimTime) { ++ticks; });
+  s.schedule_at(SimTime::minutes(45), [&] { ++others; });
+  s.run_until(SimTime::hours(2));
+  p.stop();
+  EXPECT_EQ(ticks, 4);
+  EXPECT_EQ(others, 1);
+}
+
+}  // namespace
+}  // namespace p2ps::sim

@@ -1,0 +1,384 @@
+// Unit tests for the util module: time, ids, rng, stats, tables, contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "util/stats.hpp"
+#include "util/strong_id.hpp"
+#include "util/table.hpp"
+
+namespace p2ps::util {
+namespace {
+
+// ---------- SimTime ----------
+
+TEST(SimTime, UnitConversionsAreExact) {
+  EXPECT_EQ(SimTime::seconds(1).as_millis(), 1000);
+  EXPECT_EQ(SimTime::minutes(1).as_millis(), 60'000);
+  EXPECT_EQ(SimTime::hours(1).as_millis(), 3'600'000);
+  EXPECT_EQ(SimTime::hours(144).as_hours(), 144.0);
+  EXPECT_EQ(SimTime::minutes(90).as_hours(), 1.5);
+}
+
+TEST(SimTime, ArithmeticBehavesLikeDurations) {
+  const SimTime a = SimTime::minutes(10);
+  const SimTime b = SimTime::minutes(20);
+  EXPECT_EQ(a + b, SimTime::minutes(30));
+  EXPECT_EQ(b - a, SimTime::minutes(10));
+  EXPECT_EQ(3 * a, SimTime::minutes(30));
+  EXPECT_EQ(a * 6, SimTime::hours(1));
+  EXPECT_EQ(SimTime::hours(1) / SimTime::minutes(20), 3);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(SimTime::zero().as_millis(), 0);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::zero();
+  t += SimTime::seconds(5);
+  t += SimTime::seconds(7);
+  EXPECT_EQ(t, SimTime::seconds(12));
+  t -= SimTime::seconds(2);
+  EXPECT_EQ(t, SimTime::seconds(10));
+}
+
+// ---------- StrongId ----------
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  struct TagA {};
+  struct TagB {};
+  using IdA = StrongId<TagA>;
+  using IdB = StrongId<TagB>;
+  static_assert(!std::is_same_v<IdA, IdB>);
+  EXPECT_EQ(IdA{7}.value(), 7u);
+}
+
+TEST(StrongId, InvalidSentinel) {
+  struct Tag {};
+  using Id = StrongId<Tag>;
+  EXPECT_FALSE(Id{}.valid());
+  EXPECT_FALSE(Id::invalid().valid());
+  EXPECT_TRUE(Id{0}.valid());
+  EXPECT_EQ(Id{}, Id::invalid());
+}
+
+TEST(StrongId, Hashable) {
+  struct Tag {};
+  using Id = StrongId<Tag>;
+  std::set<std::size_t> hashes;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    hashes.insert(std::hash<Id>{}(Id{i}));
+  }
+  EXPECT_GT(hashes.size(), 90u);  // no catastrophic collisions
+}
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SubstreamsAreIndependentOfConsumption) {
+  Rng master(99);
+  Rng s1 = master.substream("alpha");
+  // Consuming from the master must not change what a later-derived
+  // substream with the same label produces.
+  Rng master2(99);
+  (void)master2;
+  Rng s1_again = Rng(99).substream("alpha");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s1(), s1_again());
+}
+
+TEST(Rng, NamedSubstreamsDiffer) {
+  Rng master(7);
+  Rng a = master.substream("arrivals");
+  Rng b = master.substream("admission");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, IndexedSubstreamsDiffer) {
+  Rng master(7);
+  Rng a = master.substream("grant", 1);
+  Rng b = master.substream("grant", 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformBelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformBelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_below(10)];
+  for (int count : counts) {
+    EXPECT_NEAR(count, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(6);
+  for (int round = 0; round < 100; ++round) {
+    const auto picks = rng.sample_indices(100, 8);
+    EXPECT_EQ(picks.size(), 8u);
+    std::set<std::size_t> distinct(picks.begin(), picks.end());
+    EXPECT_EQ(distinct.size(), 8u);
+    for (auto p : picks) EXPECT_LT(p, 100u);
+  }
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng(6);
+  const auto picks = rng.sample_indices(10, 10);
+  std::set<std::size_t> distinct(picks.begin(), picks.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesClampsWhenAsked) {
+  Rng rng(6);
+  EXPECT_EQ(rng.sample_indices(3, 10, /*clamp=*/true).size(), 3u);
+  EXPECT_THROW((void)rng.sample_indices(3, 10), ContractViolation);
+}
+
+TEST(Rng, SampleIndicesUnbiased) {
+  Rng rng(123);
+  std::vector<int> counts(20, 0);
+  const int rounds = 20'000;
+  for (int round = 0; round < rounds; ++round) {
+    for (auto p : rng.sample_indices(20, 4)) ++counts[p];
+  }
+  // Each index expected rounds * 4/20 = 4000 times.
+  for (int count : counts) EXPECT_NEAR(count, 4000, 400);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(9);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // astronomically unlikely to be identity
+}
+
+// ---------- stats ----------
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+  RunningStat a, b, combined;
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(-5, 5);
+    combined.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+}
+
+TEST(RunningStat, PreconditionsThrow) {
+  RunningStat s;
+  EXPECT_THROW((void)s.mean(), ContractViolation);
+  s.add(1.0);
+  EXPECT_THROW((void)s.variance(), ContractViolation);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 15);
+  EXPECT_DOUBLE_EQ(percentile(v, 30), 20);
+  EXPECT_DOUBLE_EQ(percentile(v, 40), 20);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 35);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 50);
+  EXPECT_THROW((void)percentile({}, 50), ContractViolation);
+}
+
+// ---------- table ----------
+
+TEST(TextTable, AlignedOutput) {
+  TextTable t({"name", "value"});
+  t.new_row().add_cell("alpha").add_cell(1.5, 1);
+  t.new_row().add_cell("b").add_cell(static_cast<long long>(42));
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.new_row().add_cell("1").add_cell("2");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, MisuseThrows) {
+  TextTable t({"only"});
+  EXPECT_THROW(t.add_cell("no row yet"), ContractViolation);
+  t.new_row().add_cell("x");
+  EXPECT_THROW(t.add_cell("overflow"), ContractViolation);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(10.0, 0), "10");
+}
+
+// ---------- logging ----------
+
+TEST(Logger, RespectsLevelAndSink) {
+  auto& logger = Logger::global();
+  const LogLevel old_level = logger.level();
+  std::vector<std::string> captured;
+  logger.set_sink([&](LogLevel, std::string_view message) {
+    captured.emplace_back(message);
+  });
+  logger.set_level(LogLevel::kWarn);
+  P2PS_DEBUG("hidden " << 1);
+  P2PS_WARN("visible " << 2);
+  EXPECT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "visible 2");
+  logger.set_level(old_level);
+  logger.set_sink([](LogLevel, std::string_view) {});
+}
+
+TEST(LogLevelNames, AllDistinct) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+// ---------- contracts ----------
+
+TEST(Contracts, ViolationCarriesContext) {
+  try {
+    P2PS_REQUIRE_MSG(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(P2PS_REQUIRE(true));
+  EXPECT_NO_THROW(P2PS_CHECK(2 + 2 == 4));
+  EXPECT_NO_THROW(P2PS_ENSURE(true));
+}
+
+}  // namespace
+}  // namespace p2ps::util
