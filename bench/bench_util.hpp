@@ -34,19 +34,7 @@ inline std::int64_t scale_divisor() {
 inline engine::SimulationConfig paper_config(workload::ArrivalPattern pattern,
                                              bool differentiated,
                                              std::uint64_t seed = 2002) {
-  engine::SimulationConfig config;
-  config.pattern = pattern;
-  config.protocol.differentiated = differentiated;
-  config.seed = seed;
-  // Invariant validation is exercised heavily in the test suite; benches
-  // favor throughput.
-  config.validate_invariants = false;
-  const std::int64_t divisor = scale_divisor();
-  if (divisor > 1) {
-    config.population.seeds = std::max<std::int64_t>(4, 100 / divisor);
-    config.population.requesters = 50'000 / divisor;
-  }
-  return config;
+  return engine::section51_config(pattern, differentiated, seed, scale_divisor());
 }
 
 /// Directory for CSV/gnuplot exports, or empty when not requested.

@@ -98,4 +98,23 @@ struct SimulationConfig {
   return config;
 }
 
+/// The paper's Section 5.1 evaluation configuration — the single source of
+/// truth shared by the bench harnesses and the scenario runner, so both
+/// reproduce every figure from identical parameters. `population_divisor`
+/// shrinks the 100-seed / 50,000-requester population for quick runs
+/// (seeds are floored at 4 so tiny runs stay feasible). Invariant
+/// validation is off: these are throughput-oriented reproductions; the
+/// test suite exercises the validator separately.
+[[nodiscard]] inline SimulationConfig section51_config(
+    workload::ArrivalPattern pattern, bool differentiated,
+    std::uint64_t seed = 2002, std::int64_t population_divisor = 1) {
+  SimulationConfig config;
+  config.pattern = pattern;
+  config.protocol.differentiated = differentiated;
+  config.seed = seed;
+  config.validate_invariants = false;
+  workload::apply_population_divisor(config.population, population_divisor);
+  return config;
+}
+
 }  // namespace p2ps::engine

@@ -1,0 +1,185 @@
+#include "scenario/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <system_error>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace p2ps::scenario {
+
+Json Json::boolean(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::integer(std::int64_t value) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = value;
+  return j;
+}
+
+Json Json::number(double value) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = value;
+  return j;
+}
+
+Json Json::string(std::string value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json& Json::push_back(Json value) {
+  P2PS_CHECK_MSG(kind_ == Kind::kArray, "push_back on a non-array JSON value");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::set(std::string key, Json value) {
+  P2PS_CHECK_MSG(kind_ == Kind::kObject, "set on a non-object JSON value");
+  for (auto& [existing, member] : members_) {
+    if (existing == key) {
+      member = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // std::to_chars emits the shortest round-trip form and is locale
+  // independent — printf %g would honor LC_NUMERIC's decimal separator.
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  P2PS_CHECK(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+void Json::write_indented(std::ostream& os, int indent, int depth) const {
+  const std::string pad = indent >= 0 ? std::string(static_cast<std::size_t>(indent) *
+                                                        (static_cast<std::size_t>(depth) + 1),
+                                                    ' ')
+                                      : std::string();
+  const std::string close_pad =
+      indent >= 0 ? std::string(static_cast<std::size_t>(indent) *
+                                    static_cast<std::size_t>(depth),
+                                ' ')
+                  : std::string();
+  const char* nl = indent >= 0 ? "\n" : "";
+  const char* colon = indent >= 0 ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kInt: {
+      // to_chars, not operator<<: ostream num_put honors the stream's
+      // locale (digit grouping), which would break the determinism and
+      // validity guarantees for embedders that set a global locale.
+      char buf[24];
+      const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), int_);
+      P2PS_CHECK(ec == std::errc{});
+      os.write(buf, ptr - buf);
+      break;
+    }
+    case Kind::kDouble: os << json_number(double_); break;
+    case Kind::kString: os << json_escape(string_); break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[' << nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        os << pad;
+        items_[i].write_indented(os, indent, depth + 1);
+        if (i + 1 < items_.size()) os << ',';
+        os << nl;
+      }
+      os << close_pad << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{' << nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        os << pad << json_escape(members_[i].first) << colon;
+        members_[i].second.write_indented(os, indent, depth + 1);
+        if (i + 1 < members_.size()) os << ',';
+        os << nl;
+      }
+      os << close_pad << '}';
+      break;
+    }
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_indented(os, indent, 0);
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  write(os, -1);
+  return os.str();
+}
+
+std::string Json::dump_pretty() const {
+  std::ostringstream os;
+  write(os, 2);
+  return os.str();
+}
+
+}  // namespace p2ps::scenario

@@ -1,0 +1,106 @@
+// p2ps_run — the unified scenario runner.
+//
+//   p2ps_run --list                      enumerate registered scenarios
+//   p2ps_run <scenario> [--seed N]       run one scenario, JSON to stdout
+//            [--scale D]                 population divisor (1 = paper scale)
+//            [--out FILE]                also write the JSON to FILE
+//            [--compact]                 single-line JSON (default: pretty)
+//
+// Determinism contract: the same (scenario, seed, scale) always emits
+// byte-identical JSON, so diffs against a stored BENCH_*.json are
+// meaningful.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/assert.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+int list_scenarios() {
+  p2ps::scenario::register_all_scenarios();
+  for (const auto* scenario : p2ps::scenario::Registry::instance().list()) {
+    std::cout << scenario->name << "\n    " << scenario->description << '\n';
+  }
+  return 0;
+}
+
+int usage(const std::string& program) {
+  std::cerr << "usage: " << program
+            << " <scenario> [--seed N] [--scale D] [--out FILE] [--compact]\n"
+            << "       " << program << " --list\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const p2ps::util::Flags flags(argc, argv);
+
+    // --list/--help/--compact are boolean, but Flags parses `--flag token`
+    // as token being the flag's value — so a flag placed before the
+    // scenario name would swallow it ("p2ps_run --compact fig1"). Reclaim
+    // such tokens as positionals; flag order then doesn't matter.
+    std::vector<std::string> positionals = flags.positional();
+    const auto bool_flag = [&](std::string_view flag_name) {
+      const auto value = flags.value(flag_name);
+      if (!value) return false;
+      if (value->empty() || *value == "true" || *value == "1" ||
+          *value == "yes") {
+        return true;
+      }
+      if (*value == "false" || *value == "0" || *value == "no") return false;
+      positionals.push_back(*value);
+      return true;
+    };
+    const bool list = bool_flag("list");
+    const bool help = bool_flag("help");
+    const bool compact = bool_flag("compact");
+    if (list) return list_scenarios();
+    if (positionals.size() != 1 || help) {
+      return usage(flags.program());
+    }
+    const std::string name = positionals.front();
+
+    p2ps::scenario::ScenarioOptions options;
+    options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2002));
+    options.scale = flags.get_int("scale", 1);
+    if (options.scale < 1) {
+      std::cerr << "error: --scale must be >= 1\n";
+      return 2;
+    }
+    const std::string out_file = flags.get_string("out", "");
+
+    // Reject typos and unwritable --out paths before the run — a
+    // paper-scale simulation is too expensive to discard on either.
+    for (const auto& unknown : flags.unused()) {
+      std::cerr << "error: unknown flag --" << unknown << '\n';
+      return 2;
+    }
+    std::ofstream out_stream;
+    if (!out_file.empty()) {
+      out_stream.open(out_file);
+      if (!out_stream) {
+        std::cerr << "error: cannot open --out file: " << out_file << '\n';
+        return 1;
+      }
+    }
+
+    const auto result = p2ps::scenario::run_scenario(name, options);
+    const std::string text = compact ? result.dump() : result.dump_pretty();
+    std::cout << text << '\n';
+    if (out_stream.is_open()) out_stream << text << '\n';
+    return 0;
+  } catch (const p2ps::util::ContractViolation& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fatal: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,98 @@
+// The scenario registry behind the unified `p2ps_run` CLI.
+//
+// A scenario is a named, seeded, deterministic workload: every paper
+// figure/table reproduction and every example workload registers here so
+// one binary can enumerate and run them all with uniform flags and JSON
+// output. Determinism contract: for fixed (seed, scale, flags) a scenario
+// must return an identical Json on every run — no wall clocks, no global
+// RNG, no pointer values.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "engine/result.hpp"
+#include "scenario/json.hpp"
+
+namespace p2ps::scenario {
+
+/// Per-run knobs shared by every scenario.
+struct ScenarioOptions {
+  std::uint64_t seed = 2002;
+  /// Population divisor: 1 = the paper's full scale; N shrinks requester
+  /// counts by N (seeds are floored so tiny runs stay feasible).
+  std::int64_t scale = 1;
+};
+
+using ScenarioFn = std::function<Json(const ScenarioOptions&)>;
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  ScenarioFn run;
+};
+
+/// Global scenario registry. Registration happens once, explicitly, via
+/// register_all_scenarios() — no static-initialisation-order tricks, so the
+/// set and order of scenarios is identical in every binary that asks.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Registers a scenario; throws ContractViolation on duplicate names.
+  void add(Scenario scenario);
+
+  /// All scenarios, sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> list() const;
+
+  /// Lookup by exact name; nullptr when unknown.
+  [[nodiscard]] const Scenario* find(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// Idempotently registers every built-in scenario (figures + workloads).
+void register_all_scenarios();
+
+/// Runs a registered scenario and wraps its payload in the standard
+/// envelope {scenario, seed, scale, results}. Throws ContractViolation for
+/// unknown names.
+[[nodiscard]] Json run_scenario(std::string_view name, const ScenarioOptions& options);
+
+// ---- helpers shared by scenario implementations ----
+
+/// The paper's Section 5.1 simulation config at `options.scale` — a thin
+/// wrapper over engine::section51_config, the single definition shared
+/// with bench_util so figures and scenarios agree by construction.
+[[nodiscard]] engine::SimulationConfig paper_config(const ScenarioOptions& options,
+                                                    workload::ArrivalPattern pattern,
+                                                    bool differentiated);
+
+/// Applies `options.scale` to an example-sized population in place.
+void scale_population(const ScenarioOptions& options, engine::SimulationConfig& config);
+
+/// Summary of one simulation run: capacity, admissions, per-class totals
+/// and an hourly capacity series subsampled at `series_step_hours`.
+[[nodiscard]] Json result_to_json(const engine::SimulationResult& result,
+                                  int series_step_hours = 8);
+
+/// The single policy for missing statistics: nullopt renders as JSON null
+/// (never 0.0, which would be indistinguishable from a genuine zero).
+[[nodiscard]] inline Json opt_json(const std::optional<double>& value) {
+  return value ? Json(*value) : Json();
+}
+
+// Registration entry points, one per implementation file.
+void register_figure_scenarios(Registry& registry);
+void register_workload_scenarios(Registry& registry);
+void register_ablation_scenarios(Registry& registry);
+
+}  // namespace p2ps::scenario

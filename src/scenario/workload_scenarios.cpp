@@ -1,0 +1,174 @@
+// Example workloads as registered scenarios: flash crowd, churn,
+// incentive, and Chord lookup. Each mirrors the corresponding examples/
+// demo but is seeded from ScenarioOptions and returns deterministic JSON.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/streaming_system.hpp"
+#include "lookup/chord.hpp"
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::scenario {
+namespace {
+
+using util::SimTime;
+
+// ---- Flash crowd: a demand burst hitting a young system ----
+
+Json flash_crowd(const ScenarioOptions& options) {
+  engine::SimulationConfig config;
+  config.population.seeds = 20;
+  config.population.requesters = 5000;
+  config.pattern = workload::ArrivalPattern::kBurstThenConstant;
+  config.arrival_window = SimTime::hours(36);
+  config.horizon = SimTime::hours(72);
+  scale_population(options, config);
+
+  const auto dac = engine::StreamingSystem(config).run();
+  const auto ndac = engine::StreamingSystem(engine::as_ndac(config)).run();
+  Json out = Json::object();
+  out.set("dac", result_to_json(dac, 6));
+  out.set("ndac", result_to_json(ndac, 6));
+  return out;
+}
+
+// ---- Churn: unreachable candidates and permanent supplier departure ----
+
+Json churn_resilience(const ScenarioOptions& options) {
+  Json sweep = Json::array();
+  for (const double down : {0.0, 0.2, 0.4, 0.6}) {
+    engine::SimulationConfig config;
+    config.population.seeds = 20;
+    config.population.requesters = 1000;
+    config.pattern = workload::ArrivalPattern::kConstant;
+    config.arrival_window = SimTime::hours(24);
+    config.horizon = SimTime::hours(48);
+    config.peer_down_probability = down;
+    scale_population(options, config);
+
+    const auto result = engine::StreamingSystem(config).run();
+    Json entry = Json::object();
+    entry.set("peer_down_probability", down);
+    entry.set("admissions", result.overall.admissions);
+    const auto rejections = result.overall.mean_rejections();
+    entry.set("mean_rejections", opt_json(rejections));
+    const auto waiting = result.overall.mean_waiting_minutes();
+    entry.set("mean_waiting_minutes", opt_json(waiting));
+    entry.set("final_capacity", result.final_capacity);
+    sweep.push_back(std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("down_probability_sweep", std::move(sweep));
+  return out;
+}
+
+// ---- Incentive: what a truthful bandwidth pledge buys under DAC_p2p ----
+
+Json incentive(const ScenarioOptions& options) {
+  engine::SimulationConfig config;
+  config.population.seeds = 20;
+  config.population.requesters = 4000;
+  config.pattern = workload::ArrivalPattern::kRampUpDown;
+  config.arrival_window = SimTime::hours(24);
+  config.horizon = SimTime::hours(48);
+  scale_population(options, config);
+
+  const auto dac = engine::StreamingSystem(config).run();
+  const auto ndac = engine::StreamingSystem(engine::as_ndac(config)).run();
+  const auto rows = [](const engine::SimulationResult& result) {
+    Json out = Json::array();
+    for (std::size_t c = 0; c < result.totals.size(); ++c) {
+      const auto& counters = result.totals[c];
+      Json row = Json::object();
+      row.set("class", static_cast<std::int64_t>(c + 1));
+      row.set("mean_rejections", opt_json(counters.mean_rejections()));
+      row.set("mean_waiting_minutes", opt_json(counters.mean_waiting_minutes()));
+      row.set("mean_delay_dt", opt_json(counters.mean_delay_dt()));
+      out.push_back(std::move(row));
+    }
+    return out;
+  };
+  Json out = Json::object();
+  out.set("dac_per_class", rows(dac));
+  out.set("ndac_per_class", rows(ndac));
+  return out;
+}
+
+// ---- Chord lookup: substrate-agnostic protocol + routing cost ----
+
+Json chord_lookup(const ScenarioOptions& options) {
+  engine::SimulationConfig config;
+  config.population.seeds = 10;
+  config.population.requesters = 500;
+  config.pattern = workload::ArrivalPattern::kConstant;
+  config.arrival_window = SimTime::hours(12);
+  config.horizon = SimTime::hours(24);
+  scale_population(options, config);
+
+  auto chord_config = config;
+  chord_config.lookup = engine::LookupKind::kChord;
+
+  const auto with_directory = engine::StreamingSystem(config).run();
+  const auto with_chord = engine::StreamingSystem(chord_config).run();
+
+  Json out = Json::object();
+  Json comparison = Json::object();
+  comparison.set("directory_admissions", with_directory.overall.admissions);
+  comparison.set("directory_final_capacity", with_directory.final_capacity);
+  comparison.set("chord_admissions", with_chord.overall.admissions);
+  comparison.set("chord_final_capacity", with_chord.final_capacity);
+  comparison.set("chord_lookup_routed", with_chord.lookup_routed);
+  comparison.set("chord_lookup_mean_hops", with_chord.lookup_mean_hops);
+  out.set("substrate_comparison", std::move(comparison));
+
+  Json hops = Json::array();
+  for (const std::uint64_t n : {64u, 512u, 4096u}) {
+    lookup::ChordLookup ring;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ring.register_supplier(core::PeerId{i}, 1);
+    }
+    util::Rng rng(options.seed + n);
+    for (int i = 0; i < 2000; ++i) {
+      // Sequence the two draws explicitly: argument evaluation order is
+      // unspecified, and the determinism contract must hold across
+      // compilers, not just per-binary.
+      const std::uint64_t from = rng();
+      const std::uint64_t key = rng();
+      (void)ring.route(from, key);
+    }
+    Json entry = Json::object();
+    entry.set("ring_size", n);
+    entry.set("mean_hops", ring.stats().mean_hops());
+    entry.set("max_hops", ring.stats().max_hops);
+    hops.push_back(std::move(entry));
+  }
+  out.set("routing_cost", std::move(hops));
+  return out;
+}
+
+}  // namespace
+
+void register_workload_scenarios(Registry& registry) {
+  registry.add({"flash_crowd",
+                "Flash crowd — 40% of requests arrive in the first twelfth of "
+                "the window against 20 seed suppliers, DAC_p2p vs NDAC_p2p",
+                flash_crowd});
+  registry.add({"churn_resilience",
+                "Churn — sweep the probability that a probed candidate is "
+                "down; the self-growing capacity degrades gracefully",
+                churn_resilience});
+  registry.add({"incentive",
+                "Incentive — truthful bandwidth pledges buy fewer rejections, "
+                "shorter waits and lower delay under DAC_p2p, nothing under "
+                "NDAC_p2p",
+                incentive});
+  registry.add({"chord_lookup",
+                "Chord lookup — the protocol is lookup-agnostic (directory vs "
+                "Chord) and Chord routing cost grows logarithmically",
+                chord_lookup});
+}
+
+}  // namespace p2ps::scenario

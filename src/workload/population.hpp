@@ -5,6 +5,7 @@
 // 10% / 10% / 40% / 40% over classes 1–4.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -25,6 +26,18 @@ struct PopulationConfig {
 
 /// Validates a population config; throws ContractViolation on bad input.
 void validate(const PopulationConfig& config);
+
+/// Shrinks a population by `divisor` for quick runs — the single
+/// definition of the scaling policy shared by the bench harnesses
+/// (P2PS_BENCH_SCALE) and the scenario runner (--scale). Floors keep tiny
+/// runs feasible: at least 4 seeds and 20 requesters.
+inline void apply_population_divisor(PopulationConfig& population,
+                                     std::int64_t divisor) {
+  if (divisor <= 1) return;
+  population.seeds = std::max<std::int64_t>(4, population.seeds / divisor);
+  population.requesters =
+      std::max<std::int64_t>(20, population.requesters / divisor);
+}
 
 /// Assigns a class to every requester with *exact* largest-remainder counts
 /// (so the mix matches the paper regardless of population size), then

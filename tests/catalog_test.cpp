@@ -27,7 +27,9 @@ TEST(Zipf, PmfSumsToOneAndDecreases) {
   double total = 0.0;
   for (std::size_t k = 0; k < 50; ++k) {
     total += zipf.pmf(k);
-    if (k > 0) EXPECT_LT(zipf.pmf(k), zipf.pmf(k - 1));
+    if (k > 0) {
+      EXPECT_LT(zipf.pmf(k), zipf.pmf(k - 1));
+    }
   }
   EXPECT_NEAR(total, 1.0, 1e-9);
 }

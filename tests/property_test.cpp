@@ -29,7 +29,9 @@ void expect_vector_invariants(const core::AdmissionProbabilityVector& v) {
   for (PeerClass c = 1; c <= v.num_classes(); ++c) {
     EXPECT_GE(v.exponent(c), 0);
     EXPECT_LE(v.exponent(c), c - 1);
-    if (c > 1) EXPECT_GE(v.exponent(c), v.exponent(c - 1));
+    if (c > 1) {
+      EXPECT_GE(v.exponent(c), v.exponent(c - 1));
+    }
   }
   const PeerClass lowest = v.lowest_favored_class();
   for (PeerClass c = 1; c <= v.num_classes(); ++c) {
