@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Throughput benchmark: runs the `perf` scenario family in a Release build
+# and writes BENCH_<n>.json — one point on the repo's perf trajectory.
+#
+# Usage: scripts/bench.sh [build-dir] [out-file]
+#   P2PS_BENCH_SEED    seed for the perf runs          (default 2002)
+#   P2PS_BENCH_SCALE   population divisor              (default 1 = full)
+#   P2PS_BENCH_REPS    timed repetitions per backend   (default 3, best-of)
+#
+# Output schema (BENCH_*.json):
+#   scenario / seed / scale    the measured workload
+#   events_executed            simulated events in one run (deterministic)
+#   peak_peers                 population size of the workload
+#   backends.{heap,calendar}   wall_ms (best-of-reps) and events_per_sec
+#   events_per_sec             the headline number (best backend)
+#
+# Timing lives out here, not in the scenario JSON: scenario output must stay
+# byte-deterministic so the two pre-timing runs below can verify the build
+# (determinism + backend parity) before a number enters the trajectory.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_file="${2:-${repo_root}/BENCH_2.json}"
+seed="${P2PS_BENCH_SEED:-2002}"
+scale="${P2PS_BENCH_SCALE:-1}"
+reps="${P2PS_BENCH_REPS:-3}"
+scenario="perf_steady"
+
+echo "==> configure + build (Release)"
+cmake -B "${build_dir}" -S "${repo_root}" > /dev/null
+build_type="$(grep -E '^CMAKE_BUILD_TYPE' "${build_dir}/CMakeCache.txt" | cut -d= -f2)"
+if [ "${build_type}" != "Release" ] && [ "${build_type}" != "RelWithDebInfo" ]; then
+  echo "FAIL: build dir '${build_dir}' is configured as '${build_type:-<empty>}';" \
+       "benchmarks need an optimized build (delete the dir or pass another)" >&2
+  exit 1
+fi
+cmake --build "${build_dir}" -j "$(nproc)" > /dev/null
+runner="${build_dir}/src/p2ps_run"
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+now_ms() { date +%s%N | sed 's/......$//'; }
+
+echo "==> verify: determinism + backend parity (untimed)"
+"${runner}" "${scenario}" --seed "${seed}" --scale "${scale}" --compact \
+    --event-list heap > "${tmp_dir}/heap.json"
+"${runner}" "${scenario}" --seed "${seed}" --scale "${scale}" --compact \
+    --event-list calendar > "${tmp_dir}/calendar.json"
+cmp "${tmp_dir}/heap.json" "${tmp_dir}/calendar.json" || {
+  echo "FAIL: ${scenario} differs between event-list backends" >&2
+  exit 1
+}
+
+events="$(grep -o '"events_executed":[0-9]*' "${tmp_dir}/heap.json" | head -1 | cut -d: -f2)"
+peak_peers="$(grep -o '"population":[0-9]*' "${tmp_dir}/heap.json" | head -1 | cut -d: -f2)"
+
+best_ms_heap=0
+best_ms_calendar=0
+for backend in heap calendar; do
+  best=""
+  for rep in $(seq "${reps}"); do
+    start="$(now_ms)"
+    "${runner}" "${scenario}" --seed "${seed}" --scale "${scale}" --compact \
+        --event-list "${backend}" > /dev/null
+    elapsed=$(( $(now_ms) - start ))
+    echo "    ${scenario} ${backend} rep ${rep}: ${elapsed} ms"
+    if [ -z "${best}" ] || [ "${elapsed}" -lt "${best}" ]; then best="${elapsed}"; fi
+  done
+  eval "best_ms_${backend}=${best}"
+done
+
+eps() { echo $(( $1 * 1000 / ($2 > 0 ? $2 : 1) )); }
+eps_heap="$(eps "${events}" "${best_ms_heap}")"
+eps_calendar="$(eps "${events}" "${best_ms_calendar}")"
+headline=$(( eps_heap > eps_calendar ? eps_heap : eps_calendar ))
+
+cat > "${out_file}" <<EOF
+{
+  "bench": "event-core throughput",
+  "scenario": "${scenario}",
+  "seed": ${seed},
+  "scale": ${scale},
+  "events_executed": ${events},
+  "peak_peers": ${peak_peers},
+  "backends": {
+    "heap": {"wall_ms": ${best_ms_heap}, "events_per_sec": ${eps_heap}},
+    "calendar": {"wall_ms": ${best_ms_calendar}, "events_per_sec": ${eps_calendar}}
+  },
+  "events_per_sec": ${headline}
+}
+EOF
+echo "==> wrote ${out_file}: ${events} events, best ${headline} events/sec" \
+     "(heap ${eps_heap}, calendar ${eps_calendar})"

@@ -54,4 +54,25 @@ if [ "${count}" -lt 10 ]; then
   exit 1
 fi
 
-echo "==> OK: build, tests, and ${count}-scenario smoke pass all green"
+# Perf smoke: the bench path (perf scenarios + --event-list) must not rot.
+# A small-scale fixed-seed perf run has to be byte-identical across both
+# event-list backends — the same check bench.sh performs before it trusts
+# a timing at full scale. The heap-backend output was already produced
+# (and determinism-checked) by the smoke loop above, so only the calendar
+# run is new work.
+echo "==> perf smoke: event-list backend parity (seed=${seed}, scale=${scale})"
+for perf_scenario in perf_steady perf_flash_crowd; do
+  "${runner}" "${perf_scenario}" --seed "${seed}" --scale "${scale}" --compact \
+      --event-list calendar > "${smoke_dir}/${perf_scenario}.calendar.json"
+  cmp "${smoke_dir}/${perf_scenario}.1.json" \
+      "${smoke_dir}/${perf_scenario}.calendar.json" || {
+    echo "FAIL: ${perf_scenario} differs between event-list backends" >&2
+    exit 1
+  }
+  grep -q '"events_executed":[1-9]' "${smoke_dir}/${perf_scenario}.1.json" || {
+    echo "FAIL: ${perf_scenario} executed no events" >&2
+    exit 1
+  }
+done
+
+echo "==> OK: build, tests, ${count}-scenario smoke pass and perf smoke all green"

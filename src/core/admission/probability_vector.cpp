@@ -23,23 +23,6 @@ AdmissionProbabilityVector AdmissionProbabilityVector::all_ones(PeerClass num_cl
       std::vector<std::int32_t>(static_cast<std::size_t>(num_classes), 0));
 }
 
-double AdmissionProbabilityVector::probability(PeerClass c) const {
-  return std::ldexp(1.0, -exponent(c));
-}
-
-std::int32_t AdmissionProbabilityVector::exponent(PeerClass c) const {
-  require_valid_class(c, num_classes());
-  return exponents_[static_cast<std::size_t>(c - 1)];
-}
-
-PeerClass AdmissionProbabilityVector::lowest_favored_class() const {
-  PeerClass lowest = kHighestClass;
-  for (PeerClass c = 1; c <= num_classes(); ++c) {
-    if (favors(c)) lowest = c;
-  }
-  return lowest;
-}
-
 void AdmissionProbabilityVector::elevate() {
   for (auto& e : exponents_) e = std::max(0, e - 1);
 }

@@ -10,6 +10,7 @@
 // drift, and "favored" (P == 1.0) is an exact test.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
@@ -30,18 +31,32 @@ class AdmissionProbabilityVector {
     return static_cast<PeerClass>(exponents_.size());
   }
 
+  // The three probe-path accessors are defined inline: a supplier consults
+  // them once per received probe (millions of times per paper-scale run).
+
   /// P[c] as a double (exactly representable: a power of two).
-  [[nodiscard]] double probability(PeerClass c) const;
+  [[nodiscard]] double probability(PeerClass c) const {
+    return std::ldexp(1.0, -exponent(c));
+  }
 
   /// The stored exponent e with P[c] = 2^-e.
-  [[nodiscard]] std::int32_t exponent(PeerClass c) const;
+  [[nodiscard]] std::int32_t exponent(PeerClass c) const {
+    require_valid_class(c, num_classes());
+    return exponents_[static_cast<std::size_t>(c - 1)];
+  }
 
   /// Class c is *favored* iff P[c] == 1.0.
   [[nodiscard]] bool favors(PeerClass c) const { return exponent(c) == 0; }
 
   /// The lowest favored class (largest class index with P == 1.0). At least
   /// one class is always favored (class 1 by construction).
-  [[nodiscard]] PeerClass lowest_favored_class() const;
+  [[nodiscard]] PeerClass lowest_favored_class() const {
+    PeerClass lowest = kHighestClass;
+    for (PeerClass c = 1; c <= num_classes(); ++c) {
+      if (favors(c)) lowest = c;
+    }
+    return lowest;
+  }
 
   /// Doubles every probability below 1.0 (capped at 1.0) — the relaxation
   /// applied after an idle timeout or a session with no favored-class

@@ -1,8 +1,6 @@
 #include "core/admission/requester.hpp"
 
-#include <algorithm>
-#include <numeric>
-
+#include "core/stable_order.hpp"
 #include "util/assert.hpp"
 
 namespace p2ps::core {
@@ -44,27 +42,38 @@ util::SimTime RequesterBackoff::waiting_time_for(std::int64_t rejections,
   return total;
 }
 
+void reminder_set_into(std::vector<std::size_t>& omega,
+                       std::span<const BusyCandidate> busy_candidates,
+                       Bandwidth shortfall) {
+  P2PS_REQUIRE(shortfall >= Bandwidth::zero());
+  omega.clear();
+
+  // Walk the busy candidates stably sorted by class, highest (class 1)
+  // first, keeping favoring candidates until the shortfall is covered.
+  with_stable_order(
+      busy_candidates.size(),
+      [&](std::size_t prior, std::size_t i) {
+        return busy_candidates[prior].cls > busy_candidates[i].cls;
+      },
+      [&](std::span<const std::size_t> order) {
+        Bandwidth need = shortfall;
+        for (std::size_t i : order) {
+          if (need == Bandwidth::zero()) break;
+          const BusyCandidate& candidate = busy_candidates[i];
+          if (!candidate.favors_requester) continue;
+          const Bandwidth offer = Bandwidth::class_offer(candidate.cls);
+          if (offer <= need) {
+            omega.push_back(candidate.index);
+            need -= offer;
+          }
+        }
+      });
+}
+
 std::vector<std::size_t> reminder_set(std::span<const BusyCandidate> busy_candidates,
                                       Bandwidth shortfall) {
-  P2PS_REQUIRE(shortfall >= Bandwidth::zero());
-  std::vector<std::size_t> order(busy_candidates.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return busy_candidates[a].cls < busy_candidates[b].cls;
-  });
-
   std::vector<std::size_t> omega;
-  Bandwidth need = shortfall;
-  for (std::size_t i : order) {
-    if (need == Bandwidth::zero()) break;
-    const BusyCandidate& candidate = busy_candidates[i];
-    if (!candidate.favors_requester) continue;
-    const Bandwidth offer = Bandwidth::class_offer(candidate.cls);
-    if (offer <= need) {
-      omega.push_back(candidate.index);
-      need -= offer;
-    }
-  }
+  reminder_set_into(omega, busy_candidates, shortfall);
   return omega;
 }
 

@@ -61,4 +61,10 @@ struct BusyCandidate {
 [[nodiscard]] std::vector<std::size_t> reminder_set(
     std::span<const BusyCandidate> busy_candidates, Bandwidth shortfall);
 
+/// In-place variant of reminder_set for hot paths: clears `omega` and
+/// fills it, reusing its capacity. Identical output.
+void reminder_set_into(std::vector<std::size_t>& omega,
+                       std::span<const BusyCandidate> busy_candidates,
+                       Bandwidth shortfall);
+
 }  // namespace p2ps::core

@@ -1,20 +1,19 @@
 #include "core/selection.hpp"
 
-#include <algorithm>
-#include <numeric>
+#include <utility>
 
+#include "core/stable_order.hpp"
 #include "util/assert.hpp"
 
 namespace p2ps::core {
 
-SelectionResult select_exact_cover(std::span<const PeerClass> classes, Bandwidth target) {
-  P2PS_REQUIRE(target >= Bandwidth::zero());
-  std::vector<std::size_t> order(classes.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) { return classes[a] < classes[b]; });
+namespace {
 
-  SelectionResult result;
+/// Greedy walk shared by both policies: take candidates in `order` while
+/// their offer fits in the remaining need.
+void greedy_take(SelectionResult& result, std::span<const PeerClass> classes,
+                 std::span<const std::size_t> order, Bandwidth target) {
+  result.chosen.clear();
   Bandwidth need = target;
   for (std::size_t i : order) {
     if (need == Bandwidth::zero()) break;
@@ -25,33 +24,56 @@ SelectionResult select_exact_cover(std::span<const PeerClass> classes, Bandwidth
     }
   }
   result.shortfall = need;
+}
+
+/// Stable class-order permutation of the candidate list (ascending class
+/// index = largest offer first; see core/stable_order.hpp for why this is
+/// allocation-free and exactly matches std::stable_sort).
+template <bool kAscending, typename Fn>
+void with_sorted_order(std::span<const PeerClass> classes, Fn&& fn) {
+  with_stable_order(
+      classes.size(),
+      [&](std::size_t prior, std::size_t i) {
+        return kAscending ? classes[prior] > classes[i]
+                          : classes[prior] < classes[i];
+      },
+      std::forward<Fn>(fn));
+}
+
+}  // namespace
+
+void select_exact_cover_into(SelectionResult& result,
+                             std::span<const PeerClass> classes, Bandwidth target) {
+  P2PS_REQUIRE(target >= Bandwidth::zero());
+  with_sorted_order<true>(classes, [&](std::span<const std::size_t> order) {
+    greedy_take(result, classes, order, target);
+  });
+}
+
+SelectionResult select_exact_cover(std::span<const PeerClass> classes, Bandwidth target) {
+  SelectionResult result;
+  select_exact_cover_into(result, classes, target);
   return result;
+}
+
+void select_max_cardinality_cover_into(SelectionResult& result,
+                                       std::span<const PeerClass> classes,
+                                       Bandwidth target) {
+  P2PS_REQUIRE(target >= Bandwidth::zero());
+  with_sorted_order<false>(classes, [&](std::span<const std::size_t> order) {
+    greedy_take(result, classes, order, target);
+  });
+  if (result.shortfall != Bandwidth::zero()) {
+    // Ascending greedy is not exact (e.g. offers {1/4, 1/2, 1/2} for target
+    // 1): fall back to the exact policy so admission never regresses.
+    select_exact_cover_into(result, classes, target);
+  }
 }
 
 SelectionResult select_max_cardinality_cover(std::span<const PeerClass> classes,
                                              Bandwidth target) {
-  P2PS_REQUIRE(target >= Bandwidth::zero());
-  std::vector<std::size_t> order(classes.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) { return classes[a] > classes[b]; });
-
   SelectionResult result;
-  Bandwidth need = target;
-  for (std::size_t i : order) {
-    if (need == Bandwidth::zero()) break;
-    const Bandwidth offer = Bandwidth::class_offer(classes[i]);
-    if (offer <= need) {
-      result.chosen.push_back(i);
-      need -= offer;
-    }
-  }
-  if (need != Bandwidth::zero()) {
-    // Ascending greedy is not exact (e.g. offers {1/4, 1/2, 1/2} for target
-    // 1): fall back to the exact policy so admission never regresses.
-    return select_exact_cover(classes, target);
-  }
-  result.shortfall = need;
+  select_max_cardinality_cover_into(result, classes, target);
   return result;
 }
 

@@ -38,6 +38,12 @@ struct SelectionResult {
     std::span<const PeerClass> classes,
     Bandwidth target = Bandwidth::playback_rate());
 
+/// In-place variant of select_exact_cover for hot paths: overwrites
+/// `result`, reusing the capacity of `result.chosen`. Identical output.
+void select_exact_cover_into(SelectionResult& result,
+                             std::span<const PeerClass> classes,
+                             Bandwidth target = Bandwidth::playback_rate());
+
 /// Ablation policy: prefer *small* offers first (maximizing the supplier
 /// count), falling back to the exact greedy when the ascending walk cannot
 /// reach the target. Admits whenever select_exact_cover would, but picks
@@ -46,6 +52,11 @@ struct SelectionResult {
 [[nodiscard]] SelectionResult select_max_cardinality_cover(
     std::span<const PeerClass> classes,
     Bandwidth target = Bandwidth::playback_rate());
+
+/// In-place variant of select_max_cardinality_cover. Identical output.
+void select_max_cardinality_cover_into(SelectionResult& result,
+                                       std::span<const PeerClass> classes,
+                                       Bandwidth target = Bandwidth::playback_rate());
 
 /// Exhaustive reference for testing: does any subset of `classes` sum to
 /// exactly `target`? Exponential — intended for candidate lists <= ~20.

@@ -1,0 +1,45 @@
+// Stable index ordering for small hot-path inputs.
+//
+// Several per-attempt protocol steps (supplier selection, the reminder set
+// Ω) need candidate indices stably sorted by class. The inputs are bounded
+// by the probe fan-out M (single digits), so a stack buffer plus insertion
+// sort replaces iota + std::stable_sort without allocating. Stability is
+// load-bearing: the engine's byte-identical-output contract depends on
+// equal keys keeping their index order exactly as std::stable_sort would,
+// which the strict "strictly after" test guarantees — keeping that argument
+// in one place is why this helper exists.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p2ps::core {
+
+/// Builds the permutation of [0, n) sorted by `strictly_after` and passes
+/// it to `fn` as a span (valid only for the duration of the call).
+/// `strictly_after(prior, i)` must return true iff the already-placed index
+/// `prior` sorts strictly after `i` — a strict ordering, so ties stay in
+/// index order (stable).
+template <typename StrictlyAfter, typename Fn>
+void with_stable_order(std::size_t n, StrictlyAfter&& strictly_after, Fn&& fn) {
+  constexpr std::size_t kInlineOrder = 32;
+  std::size_t inline_buffer[kInlineOrder];
+  std::vector<std::size_t> heap_buffer;
+  std::size_t* order = inline_buffer;
+  if (n > kInlineOrder) {
+    heap_buffer.resize(n);
+    order = heap_buffer.data();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t j = i;
+    while (j > 0 && strictly_after(order[j - 1], i)) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = i;
+  }
+  fn(std::span<const std::size_t>(order, n));
+}
+
+}  // namespace p2ps::core

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "core/peer_class.hpp"
+#include "sim/event_list.hpp"
 #include "util/sim_time.hpp"
 #include "workload/arrival_pattern.hpp"
 #include "workload/population.hpp"
@@ -76,6 +77,11 @@ struct SimulationConfig {
 
   SelectionPolicy selection_policy = SelectionPolicy::kGreedyHighestFirst;
   LookupKind lookup = LookupKind::kDirectory;
+
+  /// Event-list backend for the simulator's queue. Both backends produce
+  /// byte-identical results (same ordering semantics); the calendar queue
+  /// is the O(1) choice for very large event populations.
+  sim::EventListKind event_list = sim::EventListKind::kBinaryHeap;
 
   std::uint64_t seed = 42;
 

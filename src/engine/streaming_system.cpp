@@ -26,6 +26,7 @@ std::unique_ptr<lookup::LookupService> make_lookup(LookupKind kind) {
 
 StreamingSystem::StreamingSystem(SimulationConfig config)
     : config_(std::move(config)),
+      simulator_(config_.event_list),
       lookup_(make_lookup(config_.lookup)),
       metrics_(config_.protocol.num_classes) {
   workload::validate(config_.population);
@@ -48,6 +49,9 @@ StreamingSystem::StreamingSystem(SimulationConfig config)
   if (config_.trace_capacity > 0) {
     trace_ = std::make_unique<TraceLog>(config_.trace_capacity);
   }
+
+  favored_sum_.assign(static_cast<std::size_t>(config_.protocol.num_classes), 0);
+  class_suppliers_.assign(static_cast<std::size_t>(config_.protocol.num_classes), 0);
 
   util::Rng master(config_.seed);
   lookup_rng_ = master.substream("lookup");
@@ -102,6 +106,14 @@ void StreamingSystem::trace_event(TraceKind kind, const Peer& p,
   }
 }
 
+template <typename Mutation>
+void StreamingSystem::mutate_supplier(Peer& p, Mutation&& mutation) {
+  const auto idx = static_cast<std::size_t>(p.cls - 1);
+  const auto before = p.supplier->vector().lowest_favored_class();
+  mutation();
+  favored_sum_[idx] += p.supplier->vector().lowest_favored_class() - before;
+}
+
 void StreamingSystem::depart_supplier(Peer& p) {
   P2PS_CHECK(p.is_supplier && p.supplier.has_value() && !p.supplier->busy());
   disarm_idle_timer(p);
@@ -109,6 +121,9 @@ void StreamingSystem::depart_supplier(Peer& p) {
   supplier_bandwidth_ -= core::Bandwidth::class_offer(p.cls);
   --suppliers_;
   ++departures_;
+  const auto idx = static_cast<std::size_t>(p.cls - 1);
+  favored_sum_[idx] -= p.supplier->vector().lowest_favored_class();
+  --class_suppliers_[idx];
   p.is_supplier = false;
   p.departed = true;
   p.supplier.reset();
@@ -123,6 +138,9 @@ void StreamingSystem::make_supplier(Peer& p) {
   lookup_->register_supplier(p.id, p.cls);
   supplier_bandwidth_ += core::Bandwidth::class_offer(p.cls);
   ++suppliers_;
+  const auto idx = static_cast<std::size_t>(p.cls - 1);
+  favored_sum_[idx] += p.supplier->vector().lowest_favored_class();
+  ++class_suppliers_[idx];
   arm_idle_timer(p);
   trace_event(TraceKind::kBecameSupplier, p, core::SessionId::invalid(), capacity());
 }
@@ -150,7 +168,7 @@ void StreamingSystem::on_idle_timeout(core::PeerId id) {
   Peer& p = peer(id);
   p.idle_timer = sim::EventId::invalid();
   P2PS_CHECK(p.supplier.has_value() && !p.supplier->busy());
-  p.supplier->on_idle_timeout();
+  mutate_supplier(p, [&] { p.supplier->on_idle_timeout(); });
   trace_event(TraceKind::kIdleElevation, p);
   arm_idle_timer(p);  // no-op once fully relaxed
 }
@@ -168,15 +186,23 @@ void StreamingSystem::attempt_admission(core::PeerId id) {
   P2PS_CHECK(!p.admitted && !p.is_supplier);
   metrics_.on_attempt(p.cls);
 
-  const auto candidates =
-      lookup_->candidates(config_.protocol.m_candidates, lookup_rng_, p.id);
+  // All per-attempt buffers are members, reused across calls: at paper
+  // scale this path runs millions of times and dominates the run, so the
+  // steady state must not allocate.
+  std::vector<lookup::CandidateInfo>& candidates = scratch_candidates_;
+  lookup_->candidates_into(candidates, config_.protocol.m_candidates, lookup_rng_,
+                           p.id);
   trace_event(TraceKind::kAttempt, p, core::SessionId::invalid(),
               static_cast<std::int64_t>(candidates.size()));
 
-  std::vector<lookup::CandidateInfo> granted;
-  std::vector<core::PeerClass> granted_classes;
-  std::vector<core::BusyCandidate> busy;
-  std::vector<core::PeerId> busy_ids;
+  std::vector<lookup::CandidateInfo>& granted = scratch_granted_;
+  std::vector<core::PeerClass>& granted_classes = scratch_granted_classes_;
+  std::vector<core::BusyCandidate>& busy = scratch_busy_;
+  std::vector<core::PeerId>& busy_ids = scratch_busy_ids_;
+  granted.clear();
+  granted_classes.clear();
+  busy.clear();
+  busy_ids.clear();
   for (const auto& candidate : candidates) {
     if (config_.peer_down_probability > 0.0 &&
         down_rng_.bernoulli(config_.peer_down_probability)) {
@@ -200,18 +226,21 @@ void StreamingSystem::attempt_admission(core::PeerId id) {
     }
   }
 
-  const core::SelectionResult selection =
-      config_.selection_policy == SelectionPolicy::kGreedyHighestFirst
-          ? core::select_exact_cover(granted_classes)
-          : core::select_max_cardinality_cover(granted_classes);
+  core::SelectionResult& selection = scratch_selection_;
+  if (config_.selection_policy == SelectionPolicy::kGreedyHighestFirst) {
+    core::select_exact_cover_into(selection, granted_classes);
+  } else {
+    core::select_max_cardinality_cover_into(selection, granted_classes);
+  }
 
   if (selection.success()) {
     // ---- admitted: start the streaming session ----
     ActiveSession session;
     session.id = core::SessionId{next_session_++};
     session.requester = p.id;
-    std::vector<core::PeerClass> session_classes;
-    session_classes.reserve(selection.chosen.size());
+    std::vector<core::PeerClass>& session_classes = scratch_session_classes_;
+    session_classes.clear();
+    session.suppliers.reserve(selection.chosen.size());
     for (std::size_t pick : selection.chosen) {
       Peer& s = peer(granted[pick].id);
       disarm_idle_timer(s);
@@ -254,7 +283,8 @@ void StreamingSystem::attempt_admission(core::PeerId id) {
   metrics_.on_rejection(p.cls);
   std::int64_t reminders_left = 0;
   if (config_.protocol.differentiated && config_.protocol.reminders_enabled) {
-    const auto omega = core::reminder_set(busy, selection.shortfall);
+    std::vector<std::size_t>& omega = scratch_omega_;
+    core::reminder_set_into(omega, busy, selection.shortfall);
     for (std::size_t index : omega) {
       peer(busy_ids[index]).supplier->leave_reminder(p.cls);
     }
@@ -274,7 +304,7 @@ void StreamingSystem::end_session(core::SessionId id) {
 
   for (core::PeerId supplier_id : session.suppliers) {
     Peer& s = peer(supplier_id);
-    s.supplier->on_session_end();
+    mutate_supplier(s, [&] { s.supplier->on_session_end(); });
     if (config_.supplier_departure_probability > 0.0 &&
         departure_rng_.bernoulli(config_.supplier_departure_probability)) {
       depart_supplier(s);
@@ -304,42 +334,51 @@ void StreamingSystem::take_sample(util::SimTime t) {
 }
 
 void StreamingSystem::take_favored_sample(util::SimTime t) {
+  // O(num_classes): the per-class sums are maintained incrementally at
+  // every vector mutation (make/depart/mutate_supplier). The sums are
+  // integers, so the averages are bit-identical to the full-population
+  // scan this replaced (see check_invariants for the recount cross-check).
   const auto k = static_cast<std::size_t>(config_.protocol.num_classes);
-  std::vector<double> sums(k, 0.0);
-  std::vector<std::int64_t> counts(k, 0);
-  for (const Peer& p : peers_) {
-    if (!p.is_supplier) continue;
-    const auto idx = static_cast<std::size_t>(p.cls - 1);
-    sums[idx] += static_cast<double>(p.supplier->vector().lowest_favored_class());
-    ++counts[idx];
-  }
   metrics::FavoredSample sample;
   sample.t = t;
   sample.avg_lowest_favored.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
     sample.avg_lowest_favored[i] =
-        counts[i] > 0 ? sums[i] / static_cast<double>(counts[i])
-                      : std::nan("");
+        class_suppliers_[i] > 0
+            ? static_cast<double>(favored_sum_[i]) /
+                  static_cast<double>(class_suppliers_[i])
+            : std::nan("");
   }
   metrics_.favored_sample(std::move(sample));
 }
 
 void StreamingSystem::check_invariants() const {
-  // Capacity ledger matches a from-scratch recount.
+  // Capacity ledger and the incremental Figure-7 aggregates both match a
+  // from-scratch recount.
   core::Bandwidth recount = core::Bandwidth::zero();
   std::int64_t supplier_recount = 0;
   std::int64_t busy_recount = 0;
+  const auto k = static_cast<std::size_t>(config_.protocol.num_classes);
+  std::vector<std::int64_t> favored_recount(k, 0);
+  std::vector<std::int64_t> class_recount(k, 0);
   for (const Peer& p : peers_) {
     if (p.is_supplier) {
       recount += core::Bandwidth::class_offer(p.cls);
       ++supplier_recount;
       if (p.supplier->busy()) ++busy_recount;
+      const auto idx = static_cast<std::size_t>(p.cls - 1);
+      favored_recount[idx] += p.supplier->vector().lowest_favored_class();
+      ++class_recount[idx];
     } else {
       P2PS_CHECK_MSG(!p.supplier.has_value(), "non-supplier carrying supplier state");
     }
   }
   P2PS_CHECK_MSG(recount == supplier_bandwidth_, "capacity ledger drifted");
   P2PS_CHECK_MSG(supplier_recount == suppliers_, "supplier count drifted");
+  P2PS_CHECK_MSG(favored_recount == favored_sum_,
+                 "incremental favored-class sums drifted");
+  P2PS_CHECK_MSG(class_recount == class_suppliers_,
+                 "incremental per-class supplier counts drifted");
   P2PS_CHECK_MSG(static_cast<std::size_t>(supplier_recount) ==
                      lookup_->supplier_count(),
                  "lookup registry out of sync");

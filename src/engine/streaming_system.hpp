@@ -18,6 +18,7 @@
 #include "core/admission/supplier.hpp"
 #include "core/bandwidth.hpp"
 #include "core/ids.hpp"
+#include "core/selection.hpp"
 #include "engine/config.hpp"
 #include "engine/result.hpp"
 #include "engine/trace.hpp"
@@ -93,6 +94,11 @@ class StreamingSystem {
   void attempt_admission(core::PeerId id);
   void end_session(core::SessionId id);
 
+  /// Applies a supplier-state mutation on `p` while keeping the incremental
+  /// Figure-7 aggregates (favored_sum_) in sync with the vector change.
+  template <typename Mutation>
+  void mutate_supplier(Peer& p, Mutation&& mutation);
+
   void take_sample(util::SimTime t);
   void take_favored_sample(util::SimTime t);
   void check_invariants() const;
@@ -121,6 +127,28 @@ class StreamingSystem {
   std::int64_t sessions_completed_ = 0;
   std::int64_t departures_ = 0;
   bool ran_ = false;
+
+  // Incremental Figure-7 aggregates, indexed by class - 1:
+  // favored_sum_[c] = Σ lowest_favored_class() over class-(c+1) suppliers,
+  // class_suppliers_[c] = their count. Updated at every registration,
+  // departure and vector mutation, so take_favored_sample is
+  // O(num_classes) instead of a scan over every peer. Integer sums keep
+  // the derived averages bit-identical to the scan they replaced.
+  std::vector<std::int64_t> favored_sum_;
+  std::vector<std::int64_t> class_suppliers_;
+
+  // Reused hot-path scratch for attempt_admission (one admission attempt
+  // per rejection backoff at paper scale — millions per run). Safe because
+  // attempt_admission never re-enters: callbacks are scheduled, not
+  // invoked inline.
+  std::vector<lookup::CandidateInfo> scratch_candidates_;
+  std::vector<lookup::CandidateInfo> scratch_granted_;
+  std::vector<core::PeerClass> scratch_granted_classes_;
+  std::vector<core::BusyCandidate> scratch_busy_;
+  std::vector<core::PeerId> scratch_busy_ids_;
+  std::vector<core::PeerClass> scratch_session_classes_;
+  std::vector<std::size_t> scratch_omega_;
+  core::SelectionResult scratch_selection_;
 };
 
 }  // namespace p2ps::engine

@@ -78,16 +78,17 @@ CandidateInfo ChordLookup::route(std::uint64_t from_key, std::uint64_t key) {
   return ring_.at(target_pos);
 }
 
-std::vector<CandidateInfo> ChordLookup::candidates(std::size_t m, util::Rng& rng,
-                                                   core::PeerId exclude) {
-  std::vector<CandidateInfo> out;
-  if (ring_.empty() || m == 0) return out;
+void ChordLookup::candidates_into(std::vector<CandidateInfo>& out, std::size_t m,
+                                  util::Rng& rng, core::PeerId exclude) {
+  out.clear();
+  if (ring_.empty() || m == 0) return;
 
   const std::size_t distinct_available = ring_.size() - (pos_.contains(exclude) ? 1 : 0);
   const std::size_t want = std::min(m, distinct_available);
-  if (want == 0) return out;
+  if (want == 0) return;
 
-  std::vector<core::PeerId> seen;
+  std::vector<core::PeerId>& seen = scratch_seen_;
+  seen.clear();
   // Random keys resolved via routed lookups, as a real requester would.
   // Bounded retries handle owner collisions on small rings.
   const std::size_t max_tries = 16 * want + 64;
@@ -114,7 +115,6 @@ std::vector<CandidateInfo> ChordLookup::candidates(std::size_t m, util::Rng& rng
       ++it;
     }
   }
-  return out;
 }
 
 }  // namespace p2ps::lookup

@@ -41,8 +41,8 @@ class ChordLookup final : public LookupService {
   void deregister_supplier(core::PeerId id) override;
   [[nodiscard]] bool contains(core::PeerId id) const override;
   [[nodiscard]] std::size_t supplier_count() const override;
-  [[nodiscard]] std::vector<CandidateInfo> candidates(std::size_t m, util::Rng& rng,
-                                                      core::PeerId exclude) override;
+  void candidates_into(std::vector<CandidateInfo>& out, std::size_t m,
+                       util::Rng& rng, core::PeerId exclude) override;
 
   /// Ring position of a peer id (exposed for tests).
   [[nodiscard]] static std::uint64_t ring_position(core::PeerId id);
@@ -73,6 +73,7 @@ class ChordLookup final : public LookupService {
   std::map<std::uint64_t, CandidateInfo> ring_;          // position -> node
   std::unordered_map<core::PeerId, std::uint64_t> pos_;  // id -> position
   ChordStats stats_;
+  std::vector<core::PeerId> scratch_seen_;  // reused by candidates_into
 };
 
 }  // namespace p2ps::lookup

@@ -2,9 +2,12 @@
 //
 // O(1) register/deregister via swap-remove, O(M) uniform sampling without
 // replacement. This is the lookup service the paper's evaluation assumes.
+// The id -> slot index is a dense direct-mapped table rather than a hash
+// map: the engine's peer ids are small consecutive integers, and the
+// directory sits on the admission hot path (one lookup per probe round),
+// so memory is O(max id) in exchange for hash-free access.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "lookup/lookup_service.hpp"
@@ -17,15 +20,24 @@ class DirectoryService final : public LookupService {
   void deregister_supplier(core::PeerId id) override;
   [[nodiscard]] bool contains(core::PeerId id) const override;
   [[nodiscard]] std::size_t supplier_count() const override;
-  [[nodiscard]] std::vector<CandidateInfo> candidates(std::size_t m, util::Rng& rng,
-                                                      core::PeerId exclude) override;
+  void candidates_into(std::vector<CandidateInfo>& out, std::size_t m,
+                       util::Rng& rng, core::PeerId exclude) override;
 
   /// The class recorded for a supplier (test/metrics helper).
   [[nodiscard]] core::PeerClass class_of(core::PeerId id) const;
 
  private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// entries_ slot of `id`, or kNoSlot when not registered.
+  [[nodiscard]] std::size_t slot_of(core::PeerId id) const {
+    const auto v = static_cast<std::size_t>(id.value());
+    return v < slot_by_id_.size() ? slot_by_id_[v] : kNoSlot;
+  }
+
   std::vector<CandidateInfo> entries_;
-  std::unordered_map<core::PeerId, std::size_t> index_;  // id -> entries_ slot
+  std::vector<std::size_t> slot_by_id_;  // id.value() -> entries_ slot
+  std::vector<std::size_t> scratch_picks_;  // reused by candidates_into
 };
 
 }  // namespace p2ps::lookup

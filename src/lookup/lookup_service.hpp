@@ -36,11 +36,22 @@ class LookupService {
   [[nodiscard]] virtual bool contains(core::PeerId id) const = 0;
   [[nodiscard]] virtual std::size_t supplier_count() const = 0;
 
-  /// Up to `m` distinct random candidates, never including `exclude`.
-  /// Returns fewer when fewer suppliers are registered.
-  [[nodiscard]] virtual std::vector<CandidateInfo> candidates(
+  /// Clears `out` and fills it with up to `m` distinct random candidates,
+  /// never including `exclude`. Yields fewer when fewer suppliers are
+  /// registered. This is the primitive the engine's hot path calls with a
+  /// reused scratch buffer, so implementations should avoid allocating.
+  virtual void candidates_into(std::vector<CandidateInfo>& out, std::size_t m,
+                               util::Rng& rng,
+                               core::PeerId exclude = core::PeerId::invalid()) = 0;
+
+  /// Convenience wrapper returning a fresh vector (tests, examples).
+  [[nodiscard]] std::vector<CandidateInfo> candidates(
       std::size_t m, util::Rng& rng,
-      core::PeerId exclude = core::PeerId::invalid()) = 0;
+      core::PeerId exclude = core::PeerId::invalid()) {
+    std::vector<CandidateInfo> out;
+    candidates_into(out, m, rng, exclude);
+    return out;
+  }
 };
 
 }  // namespace p2ps::lookup

@@ -3,6 +3,7 @@
 //   p2ps_run --list                      enumerate registered scenarios
 //   p2ps_run <scenario> [--seed N]       run one scenario, JSON to stdout
 //            [--scale D]                 population divisor (1 = paper scale)
+//            [--event-list heap|calendar] simulator event-list backend
 //            [--out FILE]                also write the JSON to FILE
 //            [--compact]                 single-line JSON (default: pretty)
 //
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "scenario/scenario.hpp"
+#include "sim/event_list.hpp"
 #include "util/assert.hpp"
 #include "util/flags.hpp"
 
@@ -31,7 +33,8 @@ int list_scenarios() {
 
 int usage(const std::string& program) {
   std::cerr << "usage: " << program
-            << " <scenario> [--seed N] [--scale D] [--out FILE] [--compact]\n"
+            << " <scenario> [--seed N] [--scale D] [--event-list heap|calendar]"
+               " [--out FILE] [--compact]\n"
             << "       " << program << " --list\n";
   return 2;
 }
@@ -74,6 +77,14 @@ int main(int argc, char** argv) {
       std::cerr << "error: --scale must be >= 1\n";
       return 2;
     }
+    const std::string backend = flags.get_string("event-list", "heap");
+    const auto kind = p2ps::sim::parse_event_list_kind(backend);
+    if (!kind) {
+      std::cerr << "error: --event-list must be 'heap' or 'calendar', got '"
+                << backend << "'\n";
+      return 2;
+    }
+    options.event_list = *kind;
     const std::string out_file = flags.get_string("out", "");
 
     // Reject typos and unwritable --out paths before the run — a

@@ -1,0 +1,78 @@
+// Perf scenario family — the workloads behind scripts/bench.sh and the
+// BENCH_*.json throughput trajectory.
+//
+// Unlike the figure scenarios these do not reproduce a paper panel; they
+// exist to put a large, engine-shaped load on the event core (hundreds of
+// thousands of peers, millions of events) and report deterministic
+// counters. Wall-clock timing deliberately stays *outside* the JSON — the
+// determinism contract (byte-identical output for fixed seed/scale) is what
+// lets scripts/bench.sh verify a perf run before trusting its timing.
+#include "engine/streaming_system.hpp"
+#include "scenario/scenario.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::scenario {
+namespace {
+
+using util::SimTime;
+
+Json perf_payload(const engine::SimulationConfig& config,
+                  const engine::SimulationResult& result) {
+  Json out = Json::object();
+  out.set("population",
+          config.population.seeds + config.population.requesters);
+  out.set("events_executed", result.events_executed);
+  out.set("sessions_completed", result.sessions_completed);
+  out.set("admissions", result.overall.admissions);
+  out.set("rejections", result.overall.rejections);
+  out.set("final_capacity", result.final_capacity);
+  out.set("suppliers_at_end", result.suppliers_at_end);
+  return out;
+}
+
+// ---- Steady state: a long constant-rate run, the event core's bread and
+// butter (dense timer/backoff/session traffic at a stable population) ----
+
+Json perf_steady(const ScenarioOptions& options) {
+  engine::SimulationConfig config;
+  config.population.seeds = 100;
+  config.population.requesters = 150'000;
+  config.pattern = workload::ArrivalPattern::kConstant;
+  config.arrival_window = SimTime::hours(48);
+  config.horizon = SimTime::hours(96);
+  scale_population(options, config);
+
+  const auto result = engine::StreamingSystem(config).run();
+  return perf_payload(config, result);
+}
+
+// ---- Flash crowd: a demand spike against few seeds — maximal rejection/
+// backoff pressure, the worst case for schedule/cancel churn ----
+
+Json perf_flash_crowd(const ScenarioOptions& options) {
+  engine::SimulationConfig config;
+  config.population.seeds = 50;
+  config.population.requesters = 100'000;
+  config.pattern = workload::ArrivalPattern::kBurstThenConstant;
+  config.arrival_window = SimTime::hours(24);
+  config.horizon = SimTime::hours(48);
+  scale_population(options, config);
+
+  const auto result = engine::StreamingSystem(config).run();
+  return perf_payload(config, result);
+}
+
+}  // namespace
+
+void register_perf_scenarios(Registry& registry) {
+  registry.add({"perf_steady",
+                "Perf — 150k requesters at a constant arrival rate; the "
+                "events/sec workload behind scripts/bench.sh",
+                perf_steady});
+  registry.add({"perf_flash_crowd",
+                "Perf — 100k-requester flash crowd against 50 seeds; "
+                "maximal rejection/backoff churn on the event queue",
+                perf_flash_crowd});
+}
+
+}  // namespace p2ps::scenario

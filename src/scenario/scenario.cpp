@@ -45,6 +45,7 @@ void register_all_scenarios() {
   register_figure_scenarios(registry);
   register_workload_scenarios(registry);
   register_ablation_scenarios(registry);
+  register_perf_scenarios(registry);
 }
 
 Json run_scenario(std::string_view name, const ScenarioOptions& options) {
@@ -65,13 +66,16 @@ Json run_scenario(std::string_view name, const ScenarioOptions& options) {
 engine::SimulationConfig paper_config(const ScenarioOptions& options,
                                       workload::ArrivalPattern pattern,
                                       bool differentiated) {
-  return engine::section51_config(pattern, differentiated, options.seed,
-                                  options.scale);
+  auto config = engine::section51_config(pattern, differentiated, options.seed,
+                                         options.scale);
+  config.event_list = options.event_list;
+  return config;
 }
 
 void scale_population(const ScenarioOptions& options, engine::SimulationConfig& config) {
   config.seed = options.seed;
   config.validate_invariants = false;
+  config.event_list = options.event_list;
   workload::apply_population_divisor(config.population, options.scale);
 }
 

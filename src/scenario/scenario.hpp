@@ -27,6 +27,10 @@ struct ScenarioOptions {
   /// Population divisor: 1 = the paper's full scale; N shrinks requester
   /// counts by N (seeds are floored so tiny runs stay feasible).
   std::int64_t scale = 1;
+  /// Simulator event-list backend. Deliberately absent from the output
+  /// envelope: both backends must produce byte-identical JSON, and keeping
+  /// the field out lets tests/ci assert that by comparing whole documents.
+  sim::EventListKind event_list = sim::EventListKind::kBinaryHeap;
 };
 
 using ScenarioFn = std::function<Json(const ScenarioOptions&)>;
@@ -94,5 +98,6 @@ void scale_population(const ScenarioOptions& options, engine::SimulationConfig& 
 void register_figure_scenarios(Registry& registry);
 void register_workload_scenarios(Registry& registry);
 void register_ablation_scenarios(Registry& registry);
+void register_perf_scenarios(Registry& registry);
 
 }  // namespace p2ps::scenario

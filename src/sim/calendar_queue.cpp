@@ -40,6 +40,12 @@ void CalendarQueue::push(CalendarEntry entry) {
     current_period_start_ = util::SimTime::millis(day * width_.as_millis());
     current_bucket_ = bucket_index(entry.time);
   }
+  // Keep the resize re-anchor invariant: last_popped_ never exceeds any
+  // queued entry's time. A peek-style pop-and-reinsert (the simulator's
+  // run_until horizon check) advances last_popped_ to the reinserted
+  // entry; without the clamp, a later resize would re-anchor the cursor
+  // past entries scheduled earlier than that and pop them out of order.
+  if (entry.time < last_popped_) last_popped_ = entry.time;
   if (size_ > 2 * buckets_.size()) resize(buckets_.size() * 2);
 }
 
@@ -87,6 +93,14 @@ std::optional<CalendarEntry> CalendarQueue::pop() {
   current_bucket_ = best_index;
   last_popped_ = entry.time;
   return entry;
+}
+
+void CalendarQueue::clear() {
+  for (Bucket& bucket : buckets_) bucket.clear();
+  size_ = 0;
+  current_bucket_ = 0;
+  current_period_start_ = util::SimTime::zero();
+  last_popped_ = util::SimTime::zero();
 }
 
 util::SimTime CalendarQueue::estimate_width() const {

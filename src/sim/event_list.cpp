@@ -1,0 +1,53 @@
+#include "sim/event_list.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace p2ps::sim {
+
+namespace {
+// Min-heap comparator: std::push_heap/pop_heap build a max-heap, so the
+// "greater" relation puts the least (time, seq) entry at the front.
+bool later(const CalendarEntry& a, const CalendarEntry& b) { return b < a; }
+}  // namespace
+
+void HeapEventList::push(const CalendarEntry& entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+std::optional<CalendarEntry> HeapEventList::pop() {
+  if (heap_.empty()) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const CalendarEntry entry = heap_.back();
+  heap_.pop_back();
+  return entry;
+}
+
+std::string_view to_string(EventListKind kind) {
+  switch (kind) {
+    case EventListKind::kBinaryHeap: return "heap";
+    case EventListKind::kCalendarQueue: return "calendar";
+  }
+  P2PS_CHECK_MSG(false, "unknown event-list kind");
+  return {};
+}
+
+std::optional<EventListKind> parse_event_list_kind(std::string_view name) {
+  if (name == "heap") return EventListKind::kBinaryHeap;
+  if (name == "calendar") return EventListKind::kCalendarQueue;
+  return std::nullopt;
+}
+
+std::unique_ptr<EventList> make_event_list(EventListKind kind) {
+  switch (kind) {
+    case EventListKind::kBinaryHeap: return std::make_unique<HeapEventList>();
+    case EventListKind::kCalendarQueue:
+      return std::make_unique<CalendarEventList>();
+  }
+  P2PS_CHECK_MSG(false, "unknown event-list kind");
+  return nullptr;
+}
+
+}  // namespace p2ps::sim

@@ -1,0 +1,92 @@
+// Pluggable event lists for the discrete-event simulator.
+//
+// The event list is the simulator's central priority queue of
+// (time, seq, payload) entries. Two interchangeable backends are provided:
+//
+//   * HeapEventList     — binary heap; O(log n), simple, cache-friendly.
+//                         The default.
+//   * CalendarEventList — Brown-1988 calendar queue; O(1) amortised for
+//                         large populations with roughly stationary
+//                         inter-event gaps (exactly the paper's regime).
+//
+// Both backends guarantee the simulator's documented ordering semantics —
+// entries pop in nondecreasing time order with FIFO tie-breaking on `seq` —
+// so a run produces byte-identical results regardless of the backend
+// (enforced by tests/sim_test.cpp and tests/scenario_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "sim/calendar_queue.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::sim {
+
+enum class EventListKind : std::uint8_t { kBinaryHeap, kCalendarQueue };
+
+/// CLI/log spelling of a backend: "heap" or "calendar".
+[[nodiscard]] std::string_view to_string(EventListKind kind);
+
+/// Parses "heap" / "calendar"; nullopt for anything else.
+[[nodiscard]] std::optional<EventListKind> parse_event_list_kind(
+    std::string_view name);
+
+/// Interface shared by the backends. Entries compare by (time, seq); the
+/// payload is opaque to the list (the simulator stores the event id there).
+class EventList {
+ public:
+  virtual ~EventList() = default;
+
+  virtual void push(const CalendarEntry& entry) = 0;
+
+  /// Removes and returns the least entry (FIFO on ties), or nullopt.
+  virtual std::optional<CalendarEntry> pop() = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Drops every entry and resets any dequeue-cursor state, so the list is
+  /// indistinguishable from freshly constructed.
+  virtual void clear() = 0;
+
+  [[nodiscard]] virtual EventListKind kind() const = 0;
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+};
+
+/// Binary min-heap over a contiguous vector.
+class HeapEventList final : public EventList {
+ public:
+  void push(const CalendarEntry& entry) override;
+  std::optional<CalendarEntry> pop() override;
+  [[nodiscard]] std::size_t size() const override { return heap_.size(); }
+  void clear() override { heap_.clear(); }
+  [[nodiscard]] EventListKind kind() const override {
+    return EventListKind::kBinaryHeap;
+  }
+
+ private:
+  std::vector<CalendarEntry> heap_;
+};
+
+/// Adapter over the Brown-1988 CalendarQueue.
+class CalendarEventList final : public EventList {
+ public:
+  void push(const CalendarEntry& entry) override { queue_.push(entry); }
+  std::optional<CalendarEntry> pop() override { return queue_.pop(); }
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+  void clear() override { queue_.clear(); }
+  [[nodiscard]] EventListKind kind() const override {
+    return EventListKind::kCalendarQueue;
+  }
+
+ private:
+  CalendarQueue queue_;
+};
+
+[[nodiscard]] std::unique_ptr<EventList> make_event_list(EventListKind kind);
+
+}  // namespace p2ps::sim

@@ -1,0 +1,116 @@
+// Small-buffer-optimised move-only callable for the event core.
+//
+// The simulator stores one callback per pending event; at paper scale that
+// is tens of thousands of live events and millions scheduled per run, so
+// the callback type must not heap-allocate for the common case. Every
+// engine callback is tiny (a `this` pointer plus an id or two), so targets
+// up to kInlineCapacity bytes are stored inside the object itself; larger
+// or potentially-throwing-move targets fall back to a single heap box, so
+// arbitrary callables still work.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace p2ps::sim {
+
+/// Move-only `void()` callable with in-place storage for small targets.
+/// Invoking an empty callback is undefined; check with operator bool first.
+class InplaceCallback {
+ public:
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  InplaceCallback() = default;
+  InplaceCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename Fn = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, InplaceCallback> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  InplaceCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<Fn>()) {
+      ::new (storage()) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (storage()) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kBoxedOps<Fn>;
+    }
+  }
+
+  InplaceCallback(InplaceCallback&& other) noexcept { take(other); }
+  InplaceCallback& operator=(InplaceCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+  InplaceCallback(const InplaceCallback&) = delete;
+  InplaceCallback& operator=(const InplaceCallback&) = delete;
+  ~InplaceCallback() { reset(); }
+
+  /// True when a target is held. Moved-from callbacks are empty.
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const InplaceCallback& cb, std::nullptr_t) {
+    return cb.ops_ == nullptr;
+  }
+
+  void operator()() { ops_->invoke(storage()); }
+
+  /// Destroys the target (if any), leaving the callback empty.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* from, void* to) noexcept;  // move + destroy source
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*static_cast<Fn*>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) Fn(std::move(*static_cast<Fn*>(from)));
+        static_cast<Fn*>(from)->~Fn();
+      },
+      [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kBoxedOps = {
+      [](void* s) { (**static_cast<Fn**>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) Fn*(*static_cast<Fn**>(from));  // transfer box ownership
+      },
+      [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+  };
+
+  void take(InplaceCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(other.storage(), storage());
+      other.ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] void* storage() { return static_cast<void*>(&storage_); }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+};
+
+}  // namespace p2ps::sim

@@ -4,12 +4,36 @@
 
 namespace p2ps::sim {
 
+Simulator::Simulator(EventListKind event_list)
+    : queue_(make_event_list(event_list)) {}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  P2PS_CHECK_MSG(slots_.size() < kNoSlot, "event slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  ++slot.generation;  // invalidates every outstanding id for this slot
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
 EventId Simulator::schedule_at(util::SimTime t, Callback cb) {
   P2PS_REQUIRE_MSG(t >= now_, "cannot schedule an event in the past");
   P2PS_REQUIRE(cb != nullptr);
-  const EventId id{next_id_++};
-  queue_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.cb = std::move(cb);
+  const EventId id = pack(index, slot.generation);
+  queue_->push(CalendarEntry{t, next_seq_++, id.value()});
+  ++live_;
   return id;
 }
 
@@ -18,30 +42,52 @@ EventId Simulator::schedule_after(util::SimTime delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
-bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool Simulator::cancel(EventId id) {
+  const std::uint32_t index = slot_of(id);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (slot.generation != generation_of(id) || !slot.cb) return false;
+  slot.cb.reset();
+  release_slot(index);  // queue residue is skipped lazily by pop_live()
+  --live_;
+  return true;
+}
 
-void Simulator::skim_cancelled() {
-  while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
-    queue_.pop();
+bool Simulator::pending(EventId id) const {
+  const std::uint32_t index = slot_of(id);
+  return index < slots_.size() &&
+         slots_[index].generation == generation_of(id) &&
+         static_cast<bool>(slots_[index].cb);
+}
+
+std::optional<CalendarEntry> Simulator::pop_live() {
+  for (;;) {
+    const auto entry = queue_->pop();
+    if (!entry) return std::nullopt;
+    const EventId id{entry->payload};
+    const Slot& slot = slots_[slot_of(id)];
+    if (slot.generation == generation_of(id) && slot.cb) return entry;
+    // Cancelled (or cleared) residue: drop and keep skimming.
   }
 }
 
-bool Simulator::step() {
-  skim_cancelled();
-  if (queue_.empty()) return false;
-
-  const Entry entry = queue_.top();
-  queue_.pop();
-  auto node = callbacks_.extract(entry.id);
-  P2PS_CHECK(!node.empty());
-
+void Simulator::execute(const CalendarEntry& entry) {
   P2PS_CHECK_MSG(entry.time >= now_, "event queue time order violated");
+  const std::uint32_t index = slot_of(EventId{entry.payload});
   now_ = entry.time;
   ++executed_;
-  // Move the callback out before invoking: the callback may schedule or
-  // cancel events, growing callbacks_ and invalidating references.
-  Callback cb = std::move(node.mapped());
+  --live_;
+  // Move the callback out and release the slot before invoking: the
+  // callback may freely schedule (reusing this slot) or cancel events.
+  Callback cb = std::move(slots_[index].cb);
+  release_slot(index);
   cb();
+}
+
+bool Simulator::step() {
+  const auto entry = pop_live();
+  if (!entry) return false;
+  execute(*entry);
   return true;
 }
 
@@ -55,9 +101,15 @@ std::size_t Simulator::run_until(util::SimTime t) {
   P2PS_REQUIRE(t >= now_);
   std::size_t executed = 0;
   for (;;) {
-    skim_cancelled();
-    if (queue_.empty() || queue_.top().time > t) break;
-    step();
+    const auto entry = pop_live();
+    if (!entry) break;
+    if (entry->time > t) {
+      // Beyond the horizon: reinsert unchanged (the original seq keeps its
+      // FIFO position) and stop.
+      queue_->push(*entry);
+      break;
+    }
+    execute(*entry);
     ++executed;
   }
   now_ = t;
@@ -65,8 +117,14 @@ std::size_t Simulator::run_until(util::SimTime t) {
 }
 
 void Simulator::clear() {
-  callbacks_.clear();
-  queue_ = {};
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].cb) {
+      slots_[i].cb.reset();
+      release_slot(i);
+    }
+  }
+  live_ = 0;
+  queue_->clear();
 }
 
 Periodic::Periodic(Simulator& simulator, util::SimTime start, util::SimTime period,

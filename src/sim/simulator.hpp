@@ -6,14 +6,23 @@
 //   * events fire in nondecreasing time order;
 //   * events scheduled for the same instant fire in FIFO scheduling order;
 //   * cancellation is O(1) and safe from inside callbacks.
+//
+// The engine is allocation-free on the hot path: pending callbacks live in
+// a slab with an intrusive free list (no per-event heap allocation for
+// small callbacks, no hashing), addressed by generation-tagged EventIds so
+// schedule / cancel / pending are all O(1). The event list itself is
+// pluggable — a binary heap by default, or the Brown-1988 calendar queue
+// for very large event populations — with identical ordering semantics
+// either way (see sim/event_list.hpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "sim/event_list.hpp"
+#include "sim/inplace_function.hpp"
 #include "util/assert.hpp"
 #include "util/sim_time.hpp"
 #include "util/strong_id.hpp"
@@ -21,16 +30,24 @@
 namespace p2ps::sim {
 
 struct EventIdTag {};
+
+/// Generation-tagged event handle: the low 32 bits address a slab slot, the
+/// high 32 bits carry that slot's generation at scheduling time. The
+/// generation bumps every time a slot is released (fire, cancel, clear), so
+/// a stale id can never alias a newer event occupying the same slot.
 using EventId = util::StrongId<EventIdTag>;
 
 /// Single-threaded discrete-event simulator with a virtual clock.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceCallback;
 
-  Simulator() = default;
+  explicit Simulator(EventListKind event_list = EventListKind::kBinaryHeap);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Which event-list backend this simulator runs on.
+  [[nodiscard]] EventListKind event_list_kind() const { return queue_->kind(); }
 
   /// Current simulated time. Starts at zero.
   [[nodiscard]] util::SimTime now() const { return now_; }
@@ -42,14 +59,14 @@ class Simulator {
   EventId schedule_after(util::SimTime delay, Callback cb);
 
   /// Cancels a pending event. Returns true if the event was still pending.
-  /// Safe to call with already-fired or already-cancelled ids.
+  /// Safe to call with already-fired, already-cancelled or pre-clear() ids.
   bool cancel(EventId id);
 
   /// Returns true if the event is still pending.
-  [[nodiscard]] bool pending(EventId id) const { return callbacks_.contains(id); }
+  [[nodiscard]] bool pending(EventId id) const;
 
   /// Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending_count() const { return callbacks_.size(); }
+  [[nodiscard]] std::size_t pending_count() const { return live_; }
 
   /// Executes the next event, if any. Returns false when the queue is empty.
   bool step();
@@ -65,29 +82,49 @@ class Simulator {
   /// Total events executed over the simulator's lifetime.
   [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
 
-  /// Drops all pending events without executing them.
+  /// Drops all pending events without executing them and resets the event
+  /// list (including any backend dequeue-cursor state). Every EventId
+  /// issued before clear() is invalidated: cancel() and pending() on such
+  /// ids safely return false. The clock and executed_count() are kept.
   void clear();
 
  private:
-  struct Entry {
-    util::SimTime time;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    EventId id;
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  /// One slab slot: the callback of a pending event, or a free-list link.
+  struct Slot {
+    Callback cb;                     // engaged iff the slot holds a pending event
+    std::uint32_t generation = 0;    // bumped on every release
+    std::uint32_t next_free = kNoSlot;
   };
 
-  /// Pops entries until one with a live callback is at the top.
-  void skim_cancelled();
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  static EventId pack(std::uint32_t slot, std::uint32_t generation) {
+    return EventId{(static_cast<std::uint64_t>(generation) << 32) | slot};
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id.value());
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id.value() >> 32);
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+
+  /// Pops entries until a live one surfaces (skipping cancelled residue);
+  /// nullopt when the queue is exhausted.
+  std::optional<CalendarEntry> pop_live();
+
+  /// Fires `entry`, whose slot has already been verified live.
+  void execute(const CalendarEntry& entry);
 
   util::SimTime now_ = util::SimTime::zero();
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::size_t live_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::unique_ptr<EventList> queue_;
 };
 
 /// Self-rescheduling periodic callback, e.g. hourly metric sampling.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 namespace p2ps::util {
 
@@ -49,26 +48,34 @@ double Rng::exponential(double rate) {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k, bool clamp) {
+  std::vector<std::size_t> out;
+  sample_indices_into(out, n, k, clamp);
+  return out;
+}
+
+void Rng::sample_indices_into(std::vector<std::size_t>& out, std::size_t n,
+                              std::size_t k, bool clamp) {
   if (clamp) k = std::min(k, n);
   P2PS_REQUIRE(k <= n);
-  std::vector<std::size_t> out;
+  out.clear();
   out.reserve(k);
-  if (k == 0) return out;
+  if (k == 0) return;
 
   if (k * 4 <= n) {
-    // Floyd's algorithm: k set insertions, no O(n) memory touch.
-    std::unordered_set<std::size_t> chosen;
-    chosen.reserve(k * 2);
+    // Floyd's algorithm. The chosen-so-far set is exactly the contents of
+    // `out`, so membership is a linear scan — free of allocation and, for
+    // the k of a candidate-probe fan-out, faster than a hash set.
+    const auto chosen = [&out](std::size_t value) {
+      return std::find(out.begin(), out.end(), value) != out.end();
+    };
     for (std::size_t j = n - k; j < n; ++j) {
       std::size_t t = static_cast<std::size_t>(uniform_below(j + 1));
-      if (!chosen.insert(t).second) {
-        chosen.insert(j);
-        out.push_back(j);
-      } else {
-        out.push_back(t);
-      }
+      out.push_back(chosen(t) ? j : t);
     }
   } else {
+    // Dense request (k close to n): partial Fisher–Yates over an index
+    // pool. Only reachable for small n on the engine's hot path (k is the
+    // probe fan-out), so the pool allocation is not a steady-state cost.
     std::vector<std::size_t> pool(n);
     for (std::size_t i = 0; i < n; ++i) pool[i] = i;
     for (std::size_t i = 0; i < k; ++i) {
@@ -77,7 +84,6 @@ std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k, bool 
     }
     out.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(k));
   }
-  return out;
 }
 
 }  // namespace p2ps::util

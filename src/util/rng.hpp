@@ -100,6 +100,15 @@ class Rng {
   [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k,
                                                         bool clamp = false);
 
+  /// Allocation-free variant of sample_indices for hot paths: clears `out`
+  /// and fills it, reusing its capacity. Consumes exactly the same draws as
+  /// sample_indices, so the two are interchangeable without perturbing any
+  /// seeded result (membership is checked by scanning `out` — for the small
+  /// k of a probe fan-out that beats building a hash set, and it is the
+  /// reason this variant needs no scratch memory of its own).
+  void sample_indices_into(std::vector<std::size_t>& out, std::size_t n,
+                           std::size_t k, bool clamp = false);
+
  private:
   std::uint64_t next() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;

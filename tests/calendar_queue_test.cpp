@@ -85,6 +85,56 @@ TEST(CalendarQueue, GrowsAndShrinks) {
   EXPECT_EQ(popped, 1000u);
 }
 
+TEST(CalendarQueue, ClearEmptiesAndRewindsTheCursor) {
+  CalendarQueue queue(SimTime::millis(100), 4);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    queue.push({SimTime::seconds(static_cast<std::int64_t>(100 + i)), i, i});
+  }
+  // Advance the dequeue cursor deep into the timeline before clearing.
+  for (int i = 0; i < 250; ++i) ASSERT_TRUE(queue.pop().has_value());
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+
+  // The cursor is back at time zero: entries far earlier than anything the
+  // queue saw before clear() must pop first and in order.
+  queue.push({SimTime::millis(30), 0, 2});
+  queue.push({SimTime::millis(10), 1, 1});
+  queue.push({SimTime::seconds(500), 2, 3});
+  EXPECT_EQ(queue.pop()->payload, 1u);
+  EXPECT_EQ(queue.pop()->payload, 2u);
+  EXPECT_EQ(queue.pop()->payload, 3u);
+  EXPECT_TRUE(queue.empty());
+}
+
+// Regression: a pop-and-reinsert (how the simulator peeks past its
+// run_until horizon) advances last_popped_ to the reinserted entry's time.
+// Entries pushed *earlier* than that must clamp the resize re-anchor, or a
+// push-triggered resize re-anchors the cursor past them and pops them out
+// of order.
+TEST(CalendarQueue, ReinsertThenEarlierPushesSurviveResize) {
+  CalendarQueue queue;  // simulator defaults: 1024 ms width, 8 buckets
+  queue.push({SimTime::seconds(100), 0, 999});
+  const auto far = queue.pop();  // last_popped_ is now 100 s
+  ASSERT_TRUE(far.has_value());
+  queue.push(*far);  // horizon peek: put it back unchanged
+
+  // Enough earlier entries that the *last* push triggers a grow-resize
+  // (8 -> 16 -> 32 -> 64 -> 128 buckets at sizes 17/33/65/129).
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    queue.push({SimTime::seconds(20) + SimTime::millis(static_cast<std::int64_t>(i)),
+                1 + i, i});
+  }
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    const auto entry = queue.pop();
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->payload, i);
+  }
+  EXPECT_EQ(queue.pop()->payload, 999u);
+  EXPECT_TRUE(queue.empty());
+}
+
 struct Workload {
   std::string name;
   std::function<std::int64_t(util::Rng&)> next_gap_ms;

@@ -8,6 +8,7 @@
 
 #include "scenario/json.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/event_list.hpp"
 #include "util/assert.hpp"
 
 namespace p2ps::scenario {
@@ -169,6 +170,29 @@ TEST(RunScenario, SameSeedYieldsByteIdenticalJson) {
     EXPECT_EQ(first, second) << name;
     EXPECT_FALSE(first.empty());
   }
+}
+
+// The pluggable-event-list acceptance criterion: every registered scenario
+// (the 17 pre-existing ones and the perf family) must emit byte-identical
+// JSON whether the simulator runs on the binary heap or the calendar
+// queue. The backend is deliberately absent from the envelope, so whole
+// documents are comparable.
+TEST(RunScenario, EveryScenarioIsByteIdenticalAcrossEventListBackends) {
+  register_all_scenarios();
+  ScenarioOptions heap;
+  heap.seed = 2002;
+  heap.scale = 100;  // keep the populations small and fast
+  heap.event_list = sim::EventListKind::kBinaryHeap;
+  ScenarioOptions calendar = heap;
+  calendar.event_list = sim::EventListKind::kCalendarQueue;
+  std::size_t checked = 0;
+  for (const auto* scenario : Registry::instance().list()) {
+    const std::string on_heap = run_scenario(scenario->name, heap).dump();
+    const std::string on_calendar = run_scenario(scenario->name, calendar).dump();
+    EXPECT_EQ(on_heap, on_calendar) << scenario->name;
+    ++checked;
+  }
+  EXPECT_GE(checked, 19u);  // 17 pre-existing + the perf family
 }
 
 TEST(RunScenario, DifferentSeedsChangeSimulationOutput) {

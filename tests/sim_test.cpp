@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -156,6 +158,51 @@ TEST(Simulator, ClearDropsEverything) {
   EXPECT_EQ(s.pending_count(), 0u);
 }
 
+// Regression for the documented clear() contract: pre-clear ids are
+// invalidated (cancel/pending return false, never aliasing a post-clear
+// event), the event-list skim state is reset, and the simulator schedules
+// and fires normally afterwards — on both backends.
+TEST(Simulator, ClearInvalidatesOldIdsAndResetsState) {
+  for (const auto kind :
+       {EventListKind::kBinaryHeap, EventListKind::kCalendarQueue}) {
+    Simulator s(kind);
+    int old_fired = 0;
+    std::vector<EventId> old_ids;
+    for (int i = 1; i <= 8; ++i) {
+      old_ids.push_back(
+          s.schedule_at(SimTime::minutes(i), [&] { ++old_fired; }));
+    }
+    s.run_until(SimTime::minutes(2));  // leaves popped-cursor/skim state behind
+    EXPECT_EQ(old_fired, 2);
+    s.clear();
+    EXPECT_EQ(s.pending_count(), 0u);
+
+    // Every pre-clear id is dead: not pending, not cancellable.
+    for (const EventId id : old_ids) {
+      EXPECT_FALSE(s.pending(id));
+      EXPECT_FALSE(s.cancel(id));
+    }
+
+    // New events reuse the slab slots, yet stale ids still cannot touch
+    // them, and execution resumes with full ordering semantics.
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+      s.schedule_at(SimTime::minutes(10 + i), [&order, i] { order.push_back(i); });
+    }
+    for (const EventId id : old_ids) EXPECT_FALSE(s.cancel(id));
+    EXPECT_EQ(s.run(), 8u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+    EXPECT_EQ(old_fired, 2);
+    EXPECT_EQ(s.now(), SimTime::minutes(17));
+  }
+}
+
+TEST(Simulator, ReportsItsEventListKind) {
+  EXPECT_EQ(Simulator().event_list_kind(), EventListKind::kBinaryHeap);
+  EXPECT_EQ(Simulator(EventListKind::kCalendarQueue).event_list_kind(),
+            EventListKind::kCalendarQueue);
+}
+
 TEST(Simulator, ExecutedCountAccumulates) {
   Simulator s;
   for (int i = 0; i < 5; ++i) s.schedule_at(SimTime::seconds(i), [] {});
@@ -198,6 +245,116 @@ TEST(Simulator, ManyCancellationsDoNotLeak) {
   EXPECT_EQ(s.pending_count(), 500u);
   EXPECT_EQ(s.run(), 500u);
 }
+
+// Regression (calendar backend): run_until peeks past its horizon by
+// popping and reinserting the earliest future entry; events scheduled
+// afterwards at earlier times must still fire first, even when the burst
+// of schedules forces calendar resizes in between.
+TEST(Simulator, EarlierSchedulesAfterRunUntilStayOrdered) {
+  for (const auto kind :
+       {EventListKind::kBinaryHeap, EventListKind::kCalendarQueue}) {
+    Simulator s(kind);
+    std::vector<int> order;
+    s.schedule_at(SimTime::seconds(100), [&] { order.push_back(999); });
+    EXPECT_EQ(s.run_until(SimTime::seconds(10)), 0u);
+    for (int i = 0; i < 128; ++i) {
+      s.schedule_at(SimTime::seconds(20) + SimTime::millis(i),
+                    [&order, i] { order.push_back(i); });
+    }
+    EXPECT_EQ(s.run(), 129u);
+    ASSERT_EQ(order.size(), 129u);
+    for (int i = 0; i < 128; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(order.back(), 999);
+  }
+}
+
+// A fired event's slab slot may be reused by a later event; the stale id
+// must keep reporting dead instead of aliasing the new occupant.
+TEST(Simulator, StaleIdsNeverAliasReusedSlots) {
+  Simulator s;
+  const EventId first = s.schedule_at(SimTime::seconds(1), [] {});
+  s.run();
+  EXPECT_FALSE(s.pending(first));
+  int fired = 0;
+  const EventId second = s.schedule_at(SimTime::seconds(2), [&] { ++fired; });
+  EXPECT_FALSE(s.pending(first));   // same slot, newer generation
+  EXPECT_FALSE(s.cancel(first));    // must not cancel `second`
+  EXPECT_TRUE(s.pending(second));
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// Callbacks bigger than the inline buffer take the heap-box fallback; they
+// must still fire, cancel and destruct correctly.
+TEST(Simulator, OversizedCallbacksFallBackToTheHeap) {
+  Simulator s;
+  std::vector<std::int64_t> big(64, 7);
+  auto counter = std::make_shared<int>(0);
+  s.schedule_at(SimTime::seconds(1), [big, counter] {
+    *counter += static_cast<int>(big.size());
+  });
+  const EventId cancelled = s.schedule_at(
+      SimTime::seconds(2), [big, counter] { *counter += 1'000'000; });
+  EXPECT_TRUE(s.cancel(cancelled));
+  s.run();
+  EXPECT_EQ(*counter, 64);
+  EXPECT_EQ(counter.use_count(), 1);  // cancelled copy was destroyed
+}
+
+// ---------- backend parity ----------
+
+// The randomized property demanded by the pluggable-event-list contract:
+// identical schedule/cancel workloads through the heap and calendar
+// backends must produce identical firing orders — times, payload identity
+// and FIFO tie-breaks included.
+class BackendParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendParity, IdenticalFiringOrderUnderRandomWorkload) {
+  // Two simulators fed the exact same script from one replayed RNG; each
+  // records (time, tag) of every firing. Events may re-schedule children
+  // and cancel random victims from inside callbacks.
+  struct Run {
+    explicit Run(EventListKind kind) : simulator(kind) {}
+    Simulator simulator;
+    std::vector<std::pair<std::int64_t, int>> fired;
+    std::vector<EventId> live_ids;
+  };
+  const auto drive = [&](EventListKind kind) {
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
+    Run run(kind);
+    int next_tag = 0;
+    std::function<void(int)> fire_event = [&](int tag) {
+      run.fired.emplace_back(run.simulator.now().as_millis(), tag);
+      const int children = static_cast<int>(rng.uniform_below(3));
+      for (int c = 0; c < children && next_tag < 4000; ++c) {
+        const int tag_for_child = next_tag++;
+        // Mix dense, tied and far-future delays.
+        const std::int64_t delay_ms =
+            rng.bernoulli(0.25) ? 0 : rng.uniform_int(0, 50'000);
+        run.live_ids.push_back(run.simulator.schedule_after(
+            SimTime::millis(delay_ms), [&, tag_for_child] { fire_event(tag_for_child); }));
+      }
+      if (!run.live_ids.empty() && rng.bernoulli(0.3)) {
+        const auto victim = rng.uniform_below(run.live_ids.size());
+        (void)run.simulator.cancel(run.live_ids[victim]);
+      }
+    };
+    for (int i = 0; i < 32; ++i) {
+      const int tag = next_tag++;
+      run.live_ids.push_back(run.simulator.schedule_at(
+          SimTime::millis(rng.uniform_int(0, 10'000)), [&, tag] { fire_event(tag); }));
+    }
+    run.simulator.run();
+    return run.fired;
+  };
+
+  const auto heap_fired = drive(EventListKind::kBinaryHeap);
+  const auto calendar_fired = drive(EventListKind::kCalendarQueue);
+  ASSERT_GT(heap_fired.size(), 32u);
+  EXPECT_EQ(heap_fired, calendar_fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendParity, ::testing::Range(1, 7));
 
 // ---------- Periodic ----------
 
