@@ -1,31 +1,39 @@
 #!/usr/bin/env bash
-# Throughput benchmark: runs the `perf` scenario family in a Release build
-# and writes BENCH_<n>.json — one point on the repo's perf trajectory.
+# Throughput + event-list benchmark: runs the `perf` scenario family and a
+# fig5-scale parameter study in a Release build and writes BENCH_<n>.json —
+# one point on the repo's perf trajectory.
 #
 # Usage: scripts/bench.sh [build-dir] [out-file]
 #   P2PS_BENCH_SEED    seed for the perf runs          (default 2002)
 #   P2PS_BENCH_SCALE   population divisor              (default 1 = full)
 #   P2PS_BENCH_REPS    timed repetitions per backend   (default 3, best-of)
 #
-# Output schema (BENCH_*.json):
-#   scenario / seed / scale    the measured workload
-#   events_executed            simulated events in one run (deterministic)
-#   peak_peers                 population size of the workload
-#   backends.{heap,calendar}   wall_ms (best-of-reps) and events_per_sec
-#   events_per_sec             the headline number (best backend)
+# Output schema (BENCH_3.json):
+#   single_run                 perf_steady wall/events-per-sec per backend
+#                              (best-of-reps; the PR-2 headline comparison)
+#   peak_event_list            fig5-scale run: lazy peak vs the eager
+#                              baseline (the pre-PR-3 t=0 arrival build put
+#                              every requester in the queue, so its peak
+#                              was >= the requester population)
+#   sweep                      8-point parameter study: serial vs
+#                              multi-threaded wall clock on this host
+#   cores                      detected cores (the >=3x speedup acceptance
+#                              applies on >=4-core hosts)
 #
 # Timing lives out here, not in the scenario JSON: scenario output must stay
-# byte-deterministic so the two pre-timing runs below can verify the build
-# (determinism + backend parity) before a number enters the trajectory.
+# byte-deterministic so the pre-timing runs below can verify the build
+# (determinism + backend parity + thread-count parity) before a number
+# enters the trajectory.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
-out_file="${2:-${repo_root}/BENCH_2.json}"
+out_file="${2:-${repo_root}/BENCH_3.json}"
 seed="${P2PS_BENCH_SEED:-2002}"
 scale="${P2PS_BENCH_SCALE:-1}"
 reps="${P2PS_BENCH_REPS:-3}"
 scenario="perf_steady"
+cores="$(nproc)"
 
 echo "==> configure + build (Release)"
 cmake -B "${build_dir}" -S "${repo_root}" > /dev/null
@@ -35,7 +43,7 @@ if [ "${build_type}" != "Release" ] && [ "${build_type}" != "RelWithDebInfo" ]; 
        "benchmarks need an optimized build (delete the dir or pass another)" >&2
   exit 1
 fi
-cmake --build "${build_dir}" -j "$(nproc)" > /dev/null
+cmake --build "${build_dir}" -j "${cores}" > /dev/null
 runner="${build_dir}/src/p2ps_run"
 
 tmp_dir="$(mktemp -d)"
@@ -55,7 +63,9 @@ cmp "${tmp_dir}/heap.json" "${tmp_dir}/calendar.json" || {
 
 events="$(grep -o '"events_executed":[0-9]*' "${tmp_dir}/heap.json" | head -1 | cut -d: -f2)"
 peak_peers="$(grep -o '"population":[0-9]*' "${tmp_dir}/heap.json" | head -1 | cut -d: -f2)"
+steady_peak="$(grep -o '"peak_event_list":[0-9]*' "${tmp_dir}/heap.json" | head -1 | cut -d: -f2)"
 
+echo "==> single-run timing (${reps} reps per backend, best-of)"
 best_ms_heap=0
 best_ms_calendar=0
 for backend in heap calendar; do
@@ -76,20 +86,65 @@ eps_heap="$(eps "${events}" "${best_ms_heap}")"
 eps_calendar="$(eps "${events}" "${best_ms_calendar}")"
 headline=$(( eps_heap > eps_calendar ? eps_heap : eps_calendar ))
 
+echo "==> peak event list on the fig5-scale run (lazy vs eager baseline)"
+"${runner}" fig5_admission_rate --seed "${seed}" --scale "${scale}" --compact \
+    > "${tmp_dir}/fig5.json"
+fig5_peak="$(grep -o '"peak_event_list":[0-9]*' "${tmp_dir}/fig5.json" \
+    | cut -d: -f2 | sort -n | tail -1)"
+# The eager baseline scheduled one event per requester at t=0: its peak was
+# >= the requester population, read from the run's own counters (overall
+# first_requests) so it tracks the scenario and the divisor's rounding.
+eager_peak="$(grep -o '"first_requests":[0-9]*' "${tmp_dir}/fig5.json" \
+    | cut -d: -f2 | sort -n | tail -1)"
+peak_reduction=$(( fig5_peak > 0 ? eager_peak / fig5_peak : 0 ))
+
+echo "==> sweep: 8 points (perf_steady x 8 seeds, scale $((scale * 4))), serial vs ${cores} threads"
+sweep_args=(--sweep perf_steady --seeds 1,2,3,4,5,6,7,8
+            --scales $(( scale * 4 )) --compact)
+start="$(now_ms)"
+"${runner}" "${sweep_args[@]}" --threads 1 > "${tmp_dir}/sweep.serial.json"
+serial_ms=$(( $(now_ms) - start ))
+start="$(now_ms)"
+"${runner}" "${sweep_args[@]}" --threads "${cores}" > "${tmp_dir}/sweep.parallel.json"
+parallel_ms=$(( $(now_ms) - start ))
+cmp "${tmp_dir}/sweep.serial.json" "${tmp_dir}/sweep.parallel.json" || {
+  echo "FAIL: sweep report differs between --threads 1 and --threads ${cores}" >&2
+  exit 1
+}
+echo "    serial ${serial_ms} ms, ${cores}-thread ${parallel_ms} ms"
+speedup_x100=$(( parallel_ms > 0 ? serial_ms * 100 / parallel_ms : 0 ))
+
 cat > "${out_file}" <<EOF
 {
-  "bench": "event-core throughput",
+  "bench": "lazy arrival/retry sources + parallel sweep driver",
   "scenario": "${scenario}",
   "seed": ${seed},
   "scale": ${scale},
+  "cores": ${cores},
   "events_executed": ${events},
   "peak_peers": ${peak_peers},
-  "backends": {
+  "single_run": {
     "heap": {"wall_ms": ${best_ms_heap}, "events_per_sec": ${eps_heap}},
-    "calendar": {"wall_ms": ${best_ms_calendar}, "events_per_sec": ${eps_calendar}}
+    "calendar": {"wall_ms": ${best_ms_calendar}, "events_per_sec": ${eps_calendar}},
+    "peak_event_list": ${steady_peak}
+  },
+  "peak_event_list": {
+    "scenario": "fig5_admission_rate",
+    "eager_baseline": ${eager_peak},
+    "lazy_peak": ${fig5_peak},
+    "reduction_factor": ${peak_reduction}
+  },
+  "sweep": {
+    "points": 8,
+    "serial_wall_ms": ${serial_ms},
+    "parallel_wall_ms": ${parallel_ms},
+    "parallel_threads": ${cores},
+    "speedup_x100": ${speedup_x100}
   },
   "events_per_sec": ${headline}
 }
 EOF
 echo "==> wrote ${out_file}: ${events} events, best ${headline} events/sec" \
-     "(heap ${eps_heap}, calendar ${eps_calendar})"
+     "(heap ${eps_heap}, calendar ${eps_calendar});" \
+     "fig5 peak ${fig5_peak} vs eager ${eager_peak} (${peak_reduction}x);" \
+     "sweep ${serial_ms}ms serial -> ${parallel_ms}ms on ${cores} threads"

@@ -75,4 +75,22 @@ for perf_scenario in perf_steady perf_flash_crowd; do
   }
 done
 
-echo "==> OK: build, tests, ${count}-scenario smoke pass and perf smoke all green"
+# Sweep smoke: a small multi-threaded parameter study (4 points, 2 threads)
+# must produce byte-identical reports run-to-run and across thread counts —
+# the determinism contract of `p2ps_run --sweep`.
+echo "==> sweep smoke: 4 points, --threads 2 vs --threads 1 (seed axis 1,2)"
+"${runner}" --sweep flash_crowd,churn_resilience --seeds 1,2 \
+    --scales "${scale}" --threads 2 --compact > "${smoke_dir}/sweep.2t.json"
+"${runner}" --sweep flash_crowd,churn_resilience --seeds 1,2 \
+    --scales "${scale}" --threads 1 --compact > "${smoke_dir}/sweep.1t.json"
+cmp "${smoke_dir}/sweep.2t.json" "${smoke_dir}/sweep.1t.json" || {
+  echo "FAIL: sweep report differs between --threads 2 and --threads 1" >&2
+  exit 1
+}
+grep -q '"points":4' "${smoke_dir}/sweep.2t.json" || {
+  echo "FAIL: sweep smoke did not cover 4 points" >&2
+  exit 1
+}
+
+echo "==> OK: build, tests, ${count}-scenario smoke pass, perf smoke and" \
+     "sweep smoke all green"

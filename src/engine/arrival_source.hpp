@@ -1,0 +1,98 @@
+// Lazy, self-rescheduling arrival source.
+//
+// The engines used to materialise one simulator event per first-time
+// request at t = 0 — an O(population) event-list build whose peak queue
+// size equalled the requester count before a single event had fired. This
+// walker keeps exactly ONE arrival event in flight: when arrival i fires it
+// schedules arrival i+1 (same timestamp semantics, see below) and only then
+// invokes the engine's handler, so the peak event list shrinks to
+// O(active sessions + timers).
+//
+// Ordering argument (docs/lazy_arrivals.md has the full version):
+//   * Arrival i still fires at exactly schedule.arrival_at(i), and arrivals
+//     fire in index order — times are sorted and the next event is pushed
+//     before the current handler runs, so a same-timestamp successor gets a
+//     simulator seq *smaller* than anything the handler schedules at that
+//     instant. Runs of equal-time arrivals therefore fire back-to-back,
+//     exactly as under eager pre-scheduling.
+//   * What can change is only the FIFO seq interleaving between an arrival
+//     and an *unrelated* event at the same millisecond (e.g. a periodic
+//     sampler tick): eager arrivals carried t=0 seqs that beat everything;
+//     lazy arrivals carry seqs assigned at their predecessor's fire time.
+//     This is a one-time output perturbation, covered by the PR-3
+//     expected-output regeneration; it is backend-independent (seqs are
+//     assigned by the Simulator, not the event list), so heap/calendar
+//     byte-parity is preserved by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "workload/arrival_pattern.hpp"
+
+namespace p2ps::engine {
+
+class ArrivalSource {
+ public:
+  /// `on_arrival(index)` is invoked at arrival index's scheduled time,
+  /// indices 0..total-1 in order. The source owns the schedule; the
+  /// simulator must outlive the source.
+  using OnArrival = std::function<void(std::int64_t index)>;
+
+  ArrivalSource(sim::Simulator& simulator, workload::ArrivalSchedule schedule,
+                OnArrival on_arrival)
+      : simulator_(simulator),
+        schedule_(std::move(schedule)),
+        cursor_(schedule_.cursor()),
+        on_arrival_(std::move(on_arrival)) {}
+
+  /// If the source dies with an arrival still in flight (a run cut short of
+  /// the arrival window), the event must not outlive the callback target.
+  ~ArrivalSource() {
+    if (in_flight_.valid()) simulator_.cancel(in_flight_);
+  }
+  ArrivalSource(const ArrivalSource&) = delete;
+  ArrivalSource& operator=(const ArrivalSource&) = delete;
+
+  /// Schedules the first arrival (no-op on an empty schedule).
+  void start() { schedule_next(); }
+
+  /// Arrivals whose handler has been invoked so far.
+  [[nodiscard]] std::int64_t emitted() const { return emitted_; }
+
+  /// True once every arrival has fired.
+  [[nodiscard]] bool done() const {
+    return emitted_ == schedule_.total() && !in_flight_.valid();
+  }
+
+  [[nodiscard]] const workload::ArrivalSchedule& schedule() const {
+    return schedule_;
+  }
+
+ private:
+  void schedule_next() {
+    const auto t = cursor_.next_arrival();
+    if (!t) return;
+    in_flight_ = simulator_.schedule_at(*t, [this] { fire(); });
+  }
+
+  void fire() {
+    in_flight_ = sim::EventId::invalid();
+    const std::int64_t index = emitted_++;
+    // Reschedule before invoking the handler — load-bearing for the
+    // same-timestamp ordering argument above.
+    schedule_next();
+    on_arrival_(index);
+  }
+
+  sim::Simulator& simulator_;
+  workload::ArrivalSchedule schedule_;
+  workload::ArrivalCursor cursor_;
+  OnArrival on_arrival_;
+  sim::EventId in_flight_ = sim::EventId::invalid();
+  std::int64_t emitted_ = 0;
+};
+
+}  // namespace p2ps::engine

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "engine/arrival_source.hpp"
 #include "util/assert.hpp"
 #include "workload/arrival_pattern.hpp"
 
@@ -166,13 +167,17 @@ SimulationResult AsyncStreamingSystem::run() {
     make_supplier(peers_[static_cast<std::size_t>(i)]);
   }
 
-  const auto schedule = workload::ArrivalSchedule::make(
+  // Lazy arrivals: one in-flight event walks the schedule (see
+  // engine/arrival_source.hpp for the ordering argument).
+  auto schedule = workload::ArrivalSchedule::make(
       config_.pattern, config_.population.requesters, config_.arrival_window);
-  const auto& times = schedule.times();
-  for (std::size_t i = 0; i < times.size(); ++i) {
-    const core::PeerId id{static_cast<std::uint64_t>(config_.population.seeds) + i};
-    simulator_.schedule_at(times[i], [this, id] { first_request(id); });
-  }
+  const std::int64_t first_requester = config_.population.seeds;
+  ArrivalSource arrivals(simulator_, std::move(schedule),
+                         [this, first_requester](std::int64_t index) {
+                           first_request(core::PeerId{static_cast<std::uint64_t>(
+                               first_requester + index)});
+                         });
+  arrivals.start();
 
   take_sample(util::SimTime::zero());
   sim::Periodic sampler(simulator_, config_.sample_interval, config_.sample_interval,
@@ -194,6 +199,8 @@ SimulationResult AsyncStreamingSystem::run() {
   result.sessions_completed = sessions_completed_;
   result.sessions_active_at_end = sessions_active_;
   result.events_executed = simulator_.executed_count();
+  result.peak_event_list =
+      static_cast<std::int64_t>(simulator_.peak_pending_count());
   return result;
 }
 

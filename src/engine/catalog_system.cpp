@@ -4,6 +4,7 @@
 
 #include "core/ots.hpp"
 #include "core/selection.hpp"
+#include "engine/arrival_source.hpp"
 #include "util/assert.hpp"
 #include "workload/arrival_pattern.hpp"
 
@@ -243,13 +244,16 @@ CatalogResult CatalogStreamingSystem::run() {
     make_supplier(peers_[static_cast<std::size_t>(i)]);
   }
 
-  const auto schedule = workload::ArrivalSchedule::make(
+  // Lazy arrivals: one in-flight event walks the schedule (see
+  // engine/arrival_source.hpp for the ordering argument).
+  auto schedule = workload::ArrivalSchedule::make(
       config_.pattern, config_.population.requesters, config_.arrival_window);
-  const auto& times = schedule.times();
-  for (std::size_t i = 0; i < times.size(); ++i) {
-    const core::PeerId id{static_cast<std::uint64_t>(total_seeds) + i};
-    simulator_.schedule_at(times[i], [this, id] { first_request(id); });
-  }
+  ArrivalSource arrivals(simulator_, std::move(schedule),
+                         [this, total_seeds](std::int64_t index) {
+                           first_request(core::PeerId{static_cast<std::uint64_t>(
+                               total_seeds + index)});
+                         });
+  arrivals.start();
 
   take_sample(util::SimTime::zero());
   sim::Periodic sampler(simulator_, config_.sample_interval, config_.sample_interval,
@@ -275,6 +279,8 @@ CatalogResult CatalogStreamingSystem::run() {
   result.overall.sessions_completed = sessions_completed_;
   result.overall.sessions_active_at_end = static_cast<std::int64_t>(sessions_.size());
   result.overall.events_executed = simulator_.executed_count();
+  result.overall.peak_event_list =
+      static_cast<std::int64_t>(simulator_.peak_pending_count());
 
   result.per_file.reserve(static_cast<std::size_t>(config_.files));
   for (std::int64_t f = 0; f < config_.files; ++f) {

@@ -32,7 +32,8 @@ void print_summary(std::ostream& os, const SimulationResult& result) {
   os << "\nsuppliers at end: " << result.suppliers_at_end
      << ", sessions completed: " << result.sessions_completed
      << ", active at end: " << result.sessions_active_at_end
-     << ", events: " << result.events_executed << '\n';
+     << ", events: " << result.events_executed
+     << ", peak event list: " << result.peak_event_list << '\n';
 
   util::TextTable table({"class", "first-req", "admitted", "adm-rate%", "avg-rejections",
                          "avg-delay(dt)", "avg-wait(min)"});

@@ -33,6 +33,10 @@ struct SimulationResult {
   /// Suppliers that permanently left (only nonzero under departure churn).
   std::int64_t suppliers_departed = 0;
   std::uint64_t events_executed = 0;
+  /// Largest simultaneous pending-event count (sim::Simulator
+  /// peak_pending_count()). With lazy arrival sources this is
+  /// O(active sessions + timers), not O(population).
+  std::int64_t peak_event_list = 0;
 
   /// Chord routing statistics (populated when lookup == kChord).
   std::uint64_t lookup_routed = 0;

@@ -1,0 +1,100 @@
+// Lazy backoff-retry source — the ArrivalSource trick applied to the
+// rejection/backoff stream.
+//
+// After lazy arrivals, the simulator's event list was still O(waiting
+// peers): every rejected requester parked one pending retry event for the
+// whole backoff (the dominant term at paper scale — tens of thousands of
+// waiting peers mid-ramp). This source keeps the due retries in an
+// engine-local min-heap ordered by (due time, insertion seq) and exposes
+// them to the simulator through a single in-flight event, so the event
+// list carries O(1) entries for the entire waiting population.
+//
+// Ordering: among retries, (due, seq) reproduces the simulator's own
+// (time, FIFO) semantics exactly — seq is assigned at schedule() time just
+// as the simulator assigned event seqs at schedule_after() time. Relative
+// to *other* same-millisecond events the in-flight event's seq differs
+// from the old per-retry seqs (same one-time perturbation as lazy
+// arrivals, see docs/lazy_arrivals.md); it is backend-independent, so
+// heap/calendar byte-parity is preserved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::engine {
+
+class RetrySource {
+ public:
+  using OnDue = std::function<void(core::PeerId)>;
+
+  /// `on_due(peer)` fires at the peer's retry time. The simulator must
+  /// outlive this object.
+  RetrySource(sim::Simulator& simulator, OnDue on_due)
+      : simulator_(simulator), on_due_(std::move(on_due)) {}
+
+  ~RetrySource() {
+    if (in_flight_.valid()) simulator_.cancel(in_flight_);
+  }
+  RetrySource(const RetrySource&) = delete;
+  RetrySource& operator=(const RetrySource&) = delete;
+
+  /// Schedules `peer`'s retry after `delay` (non-negative, from now).
+  void schedule(util::SimTime delay, core::PeerId peer) {
+    P2PS_REQUIRE(delay >= util::SimTime::zero());
+    const Entry entry{simulator_.now() + delay, next_seq_++, peer};
+    heap_.push(entry);
+    // Only a new earliest entry preempts the in-flight event; otherwise
+    // the armed event still fires first and re-arms from the heap.
+    if (heap_.top().seq == entry.seq) arm();
+  }
+
+  /// Peers currently waiting on a retry.
+  [[nodiscard]] std::size_t waiting() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    util::SimTime due;
+    std::uint64_t seq = 0;  // FIFO tie-break, mirroring simulator seqs
+    core::PeerId peer;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void arm() {
+    if (in_flight_.valid()) simulator_.cancel(in_flight_);
+    in_flight_ =
+        simulator_.schedule_at(heap_.top().due, [this] { fire(); });
+  }
+
+  void fire() {
+    in_flight_ = sim::EventId::invalid();
+    P2PS_CHECK(!heap_.empty());
+    const Entry entry = heap_.top();
+    heap_.pop();
+    // Re-arm before invoking — same-due retries fire back-to-back ahead of
+    // whatever the handler schedules at this instant (the ArrivalSource
+    // ordering argument).
+    if (!heap_.empty()) arm();
+    on_due_(entry.peer);
+  }
+
+  sim::Simulator& simulator_;
+  OnDue on_due_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  sim::EventId in_flight_ = sim::EventId::invalid();
+};
+
+}  // namespace p2ps::engine

@@ -6,6 +6,7 @@
 
 #include "core/ots.hpp"
 #include "core/selection.hpp"
+#include "engine/arrival_source.hpp"
 #include "lookup/chord.hpp"
 #include "lookup/directory.hpp"
 #include "util/assert.hpp"
@@ -27,6 +28,7 @@ std::unique_ptr<lookup::LookupService> make_lookup(LookupKind kind) {
 StreamingSystem::StreamingSystem(SimulationConfig config)
     : config_(std::move(config)),
       simulator_(config_.event_list),
+      retries_(simulator_, [this](core::PeerId id) { attempt_admission(id); }),
       lookup_(make_lookup(config_.lookup)),
       metrics_(config_.protocol.num_classes) {
   workload::validate(config_.population);
@@ -291,9 +293,7 @@ void StreamingSystem::attempt_admission(core::PeerId id) {
     reminders_left = static_cast<std::int64_t>(omega.size());
   }
   trace_event(TraceKind::kRejection, p, core::SessionId::invalid(), reminders_left);
-  const util::SimTime backoff = p.backoff->on_rejected();
-  const core::PeerId peer_id = p.id;
-  simulator_.schedule_after(backoff, [this, peer_id] { attempt_admission(peer_id); });
+  retries_.schedule(p.backoff->on_rejected(), p.id);
 }
 
 void StreamingSystem::end_session(core::SessionId id) {
@@ -411,9 +411,11 @@ SimulationResult StreamingSystem::run() {
     make_supplier(peers_[static_cast<std::size_t>(i)]);
   }
 
-  // Schedule all first-time requests.
+  // First-time requests arrive through a lazy, self-rescheduling source:
+  // one in-flight event instead of an O(population) t=0 event-list build
+  // (see engine/arrival_source.hpp for the ordering argument).
   util::Rng arrival_rng = util::Rng(config_.seed).substream("arrivals");
-  const auto schedule =
+  auto schedule =
       config_.randomize_arrivals
           ? workload::ArrivalSchedule::make_sampled(config_.pattern,
                                                     config_.population.requesters,
@@ -421,11 +423,13 @@ SimulationResult StreamingSystem::run() {
           : workload::ArrivalSchedule::make(config_.pattern,
                                             config_.population.requesters,
                                             config_.arrival_window);
-  const auto& times = schedule.times();
-  for (std::size_t i = 0; i < times.size(); ++i) {
-    const core::PeerId id{static_cast<std::uint64_t>(config_.population.seeds) + i};
-    simulator_.schedule_at(times[i], [this, id] { first_request(id); });
-  }
+  const std::int64_t first_requester = config_.population.seeds;
+  ArrivalSource arrivals(simulator_, std::move(schedule),
+                         [this, first_requester](std::int64_t index) {
+                           first_request(core::PeerId{static_cast<std::uint64_t>(
+                               first_requester + index)});
+                         });
+  arrivals.start();
 
   // Metric sampling: a snapshot at t=0, then periodically to the horizon.
   take_sample(util::SimTime::zero());
@@ -440,6 +444,8 @@ SimulationResult StreamingSystem::run() {
   sampler.stop();
   favored_sampler.stop();
 
+  P2PS_CHECK_MSG(arrivals.done(), "horizon covers the arrival window, so "
+                                  "every first request must have fired");
   if (config_.validate_invariants) check_invariants();
 
   SimulationResult result;
@@ -458,6 +464,8 @@ SimulationResult StreamingSystem::run() {
   result.sessions_active_at_end = active_sessions();
   result.suppliers_departed = departures_;
   result.events_executed = simulator_.executed_count();
+  result.peak_event_list =
+      static_cast<std::int64_t>(simulator_.peak_pending_count());
   if (const auto* chord = dynamic_cast<const lookup::ChordLookup*>(lookup_.get())) {
     result.lookup_routed = chord->stats().lookups;
     result.lookup_mean_hops = chord->stats().mean_hops();

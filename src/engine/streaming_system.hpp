@@ -21,6 +21,7 @@
 #include "core/selection.hpp"
 #include "engine/config.hpp"
 #include "engine/result.hpp"
+#include "engine/retry_source.hpp"
 #include "engine/trace.hpp"
 #include "lookup/lookup_service.hpp"
 #include "metrics/collector.hpp"
@@ -110,6 +111,10 @@ class StreamingSystem {
 
   SimulationConfig config_;
   sim::Simulator simulator_;
+  /// Backoff retries of waiting peers, exposed to the simulator as one
+  /// in-flight event (keeps the event list O(active sessions + timers)
+  /// instead of O(waiting population); see engine/retry_source.hpp).
+  RetrySource retries_;
   std::unique_ptr<lookup::LookupService> lookup_;
   std::unique_ptr<TraceLog> trace_;
   metrics::MetricsCollector metrics_;

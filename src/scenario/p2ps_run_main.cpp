@@ -6,17 +6,29 @@
 //            [--event-list heap|calendar] simulator event-list backend
 //            [--out FILE]                also write the JSON to FILE
 //            [--compact]                 single-line JSON (default: pretty)
+//   p2ps_run --sweep <scenario...>       parameter study: run the cross
+//            [--scenarios a,b]           product of scenarios × seeds ×
+//            [--seeds 1,2] [--scales D,E] scales × backends on a thread
+//            [--event-lists heap,calendar] pool, merged into one JSON
+//            [--threads N]               report in deterministic point order
 //
 // Determinism contract: the same (scenario, seed, scale) always emits
 // byte-identical JSON, so diffs against a stored BENCH_*.json are
-// meaningful.
+// meaningful. A sweep report is additionally byte-identical for any
+// --threads value: points merge in spec order, never completion order.
+#include <algorithm>
+#include <charconv>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
 #include "sim/event_list.hpp"
 #include "util/assert.hpp"
 #include "util/flags.hpp"
@@ -25,8 +37,16 @@ namespace {
 
 int list_scenarios() {
   p2ps::scenario::register_all_scenarios();
-  for (const auto* scenario : p2ps::scenario::Registry::instance().list()) {
-    std::cout << scenario->name << "\n    " << scenario->description << '\n';
+  const auto scenarios = p2ps::scenario::Registry::instance().list();
+  // One scenario per line (name column padded, description alongside), in
+  // sorted order: the discoverable inventory for composing --sweep specs.
+  std::size_t width = 0;
+  for (const auto* scenario : scenarios) {
+    width = std::max(width, scenario->name.size());
+  }
+  for (const auto* scenario : scenarios) {
+    std::cout << std::left << std::setw(static_cast<int>(width + 2))
+              << scenario->name << scenario->description << '\n';
   }
   return 0;
 }
@@ -35,8 +55,83 @@ int usage(const std::string& program) {
   std::cerr << "usage: " << program
             << " <scenario> [--seed N] [--scale D] [--event-list heap|calendar]"
                " [--out FILE] [--compact]\n"
+            << "       " << program
+            << " --sweep <scenario...> [--scenarios a,b] [--seeds N,M]"
+               " [--scales D,E] [--event-lists heap,calendar] [--threads N]"
+               " [--out FILE] [--compact]\n"
             << "       " << program << " --list\n";
   return 2;
+}
+
+/// Parses one event-list token or dies with a CLI error message.
+std::optional<p2ps::sim::EventListKind> parse_backend(const std::string& token) {
+  const auto kind = p2ps::sim::parse_event_list_kind(token);
+  if (!kind) {
+    std::cerr << "error: event-list backend must be 'heap' or 'calendar', got '"
+              << token << "'\n";
+  }
+  return kind;
+}
+
+/// Parses one non-negative integer token of a CSV axis flag; reports a
+/// descriptive CLI error (matching the binary's other flag diagnostics)
+/// on junk or negative input instead of dying on a raw stoll.
+std::optional<std::int64_t> parse_axis_int(std::string_view axis,
+                                           const std::string& token) {
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  if (ec != std::errc{} || ptr != token.data() + token.size() || out < 0) {
+    std::cerr << "error: --" << axis
+              << " needs comma-separated non-negative integers, got '"
+              << token << "'\n";
+    return std::nullopt;
+  }
+  return out;
+}
+
+/// The flags this binary treats as boolean. util::Flags itself parses
+/// `--flag token` as token being the flag's value, so a boolean flag
+/// placed before a scenario name would swallow it ("p2ps_run --compact
+/// fig1", "p2ps_run --sweep fig5 fig8").
+constexpr std::string_view kBooleanFlags[] = {"list", "help", "compact",
+                                              "sweep"};
+
+bool is_boolean_flag(std::string_view name) {
+  for (const std::string_view flag : kBooleanFlags) {
+    if (name == flag) return true;
+  }
+  return false;
+}
+
+bool is_boolean_token(std::string_view token) {
+  return token == "true" || token == "1" || token == "yes" ||
+         token == "false" || token == "0" || token == "no";
+}
+
+/// Positionals in their command-line order, reclaiming tokens that a
+/// boolean flag swallowed as its "value" (unless the token really is a
+/// boolean literal). Mirrors util::Flags' consumption rules exactly, so
+/// `--sweep fig5 fig8` keeps fig5 before fig8 — point order in a sweep
+/// report follows the command line.
+std::vector<std::string> ordered_positionals(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string_view body = token.substr(2);
+      if (body.find('=') != std::string_view::npos) continue;  // --k=v
+      const bool next_is_value =
+          i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0;
+      if (!next_is_value) continue;
+      if (!is_boolean_flag(body) || is_boolean_token(argv[i + 1])) {
+        ++i;  // genuinely this flag's value: skip it
+      }
+      continue;
+    }
+    out.emplace_back(token);
+  }
+  return out;
 }
 
 }  // namespace
@@ -45,64 +140,118 @@ int main(int argc, char** argv) {
   try {
     const p2ps::util::Flags flags(argc, argv);
 
-    // --list/--help/--compact are boolean, but Flags parses `--flag token`
-    // as token being the flag's value — so a flag placed before the
-    // scenario name would swallow it ("p2ps_run --compact fig1"). Reclaim
-    // such tokens as positionals; flag order then doesn't matter.
-    std::vector<std::string> positionals = flags.positional();
+    // Swallowed-token reclamation happens in ordered_positionals (which
+    // preserves command-line order); bool_flag only interprets the value.
+    const std::vector<std::string> positionals = ordered_positionals(argc, argv);
     const auto bool_flag = [&](std::string_view flag_name) {
       const auto value = flags.value(flag_name);
       if (!value) return false;
-      if (value->empty() || *value == "true" || *value == "1" ||
-          *value == "yes") {
-        return true;
-      }
-      if (*value == "false" || *value == "0" || *value == "no") return false;
-      positionals.push_back(*value);
-      return true;
+      return !(*value == "false" || *value == "0" || *value == "no");
     };
     const bool list = bool_flag("list");
     const bool help = bool_flag("help");
     const bool compact = bool_flag("compact");
+    const bool sweep = bool_flag("sweep");
     if (list) return list_scenarios();
-    if (positionals.size() != 1 || help) {
-      return usage(flags.program());
-    }
-    const std::string name = positionals.front();
+    if (help) return usage(flags.program());
 
-    p2ps::scenario::ScenarioOptions options;
-    options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2002));
-    options.scale = flags.get_int("scale", 1);
-    if (options.scale < 1) {
-      std::cerr << "error: --scale must be >= 1\n";
-      return 2;
-    }
-    const std::string backend = flags.get_string("event-list", "heap");
-    const auto kind = p2ps::sim::parse_event_list_kind(backend);
-    if (!kind) {
-      std::cerr << "error: --event-list must be 'heap' or 'calendar', got '"
-                << backend << "'\n";
-      return 2;
-    }
-    options.event_list = *kind;
+    // Reject unwritable --out paths before the run — a paper-scale run (or
+    // an 8-point sweep) is too expensive to discard on a typoed path — but
+    // only after flag validation, so a typoed flag never truncates an
+    // existing output file.
     const std::string out_file = flags.get_string("out", "");
-
-    // Reject typos and unwritable --out paths before the run — a
-    // paper-scale simulation is too expensive to discard on either.
-    for (const auto& unknown : flags.unused()) {
-      std::cerr << "error: unknown flag --" << unknown << '\n';
-      return 2;
-    }
     std::ofstream out_stream;
-    if (!out_file.empty()) {
+    const auto open_out = [&] {
+      if (out_file.empty()) return true;
       out_stream.open(out_file);
       if (!out_stream) {
         std::cerr << "error: cannot open --out file: " << out_file << '\n';
-        return 1;
+        return false;
       }
+      return true;
+    };
+    p2ps::scenario::Json result;
+
+    if (sweep) {
+      // ---- sweep mode: cross product of the axis flags + positionals ----
+      p2ps::scenario::SweepSpec spec;
+      spec.scenarios =
+          p2ps::scenario::split_csv(flags.get_string("scenarios", ""));
+      for (const auto& positional : positionals) {
+        for (auto& name : p2ps::scenario::split_csv(positional)) {
+          spec.scenarios.push_back(std::move(name));
+        }
+      }
+      if (spec.scenarios.empty()) {
+        std::cerr << "error: --sweep needs scenario names (positional or"
+                     " --scenarios a,b)\n";
+        return 2;
+      }
+      if (const auto seeds = flags.value("seeds")) {
+        spec.seeds.clear();
+        for (const auto& token : p2ps::scenario::split_csv(*seeds)) {
+          const auto seed = parse_axis_int("seeds", token);
+          if (!seed) return 2;
+          spec.seeds.push_back(static_cast<std::uint64_t>(*seed));
+        }
+      }
+      if (const auto scales = flags.value("scales")) {
+        spec.scales.clear();
+        for (const auto& token : p2ps::scenario::split_csv(*scales)) {
+          const auto scale = parse_axis_int("scales", token);
+          if (!scale) return 2;
+          spec.scales.push_back(*scale);
+        }
+      }
+      if (const auto backends = flags.value("event-lists")) {
+        spec.event_lists.clear();
+        for (const auto& token : p2ps::scenario::split_csv(*backends)) {
+          const auto kind = parse_backend(token);
+          if (!kind) return 2;
+          spec.event_lists.push_back(*kind);
+        }
+      }
+      const auto hardware =
+          static_cast<std::int64_t>(std::thread::hardware_concurrency());
+      const std::int64_t threads =
+          flags.get_int("threads", hardware > 0 ? hardware : 1);
+      if (threads < 1) {
+        std::cerr << "error: --threads must be >= 1\n";
+        return 2;
+      }
+      for (const auto& unknown : flags.unused()) {
+        std::cerr << "error: unknown flag --" << unknown << '\n';
+        return 2;
+      }
+      if (!open_out()) return 1;
+      result = p2ps::scenario::run_sweep(spec, static_cast<int>(threads));
+    } else {
+      // ---- single-run mode ----
+      if (positionals.size() != 1) return usage(flags.program());
+      const std::string name = positionals.front();
+
+      p2ps::scenario::ScenarioOptions options;
+      options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2002));
+      options.scale = flags.get_int("scale", 1);
+      if (options.scale < 1) {
+        std::cerr << "error: --scale must be >= 1\n";
+        return 2;
+      }
+      const std::string backend = flags.get_string("event-list", "heap");
+      const auto kind = parse_backend(backend);
+      if (!kind) return 2;
+      options.event_list = *kind;
+
+      // Reject typos before the run — a paper-scale simulation is too
+      // expensive to discard on one.
+      for (const auto& unknown : flags.unused()) {
+        std::cerr << "error: unknown flag --" << unknown << '\n';
+        return 2;
+      }
+      if (!open_out()) return 1;
+      result = p2ps::scenario::run_scenario(name, options);
     }
 
-    const auto result = p2ps::scenario::run_scenario(name, options);
     const std::string text = compact ? result.dump() : result.dump_pretty();
     std::cout << text << '\n';
     if (out_stream.is_open()) out_stream << text << '\n';

@@ -22,6 +22,7 @@ Json perf_payload(const engine::SimulationConfig& config,
   out.set("population",
           config.population.seeds + config.population.requesters);
   out.set("events_executed", result.events_executed);
+  out.set("peak_event_list", result.peak_event_list);
   out.set("sessions_completed", result.sessions_completed);
   out.set("admissions", result.overall.admissions);
   out.set("rejections", result.overall.rejections);

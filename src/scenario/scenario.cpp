@@ -108,6 +108,7 @@ Json result_to_json(const engine::SimulationResult& result, int series_step_hour
   out.set("sessions_completed", result.sessions_completed);
   out.set("suppliers_departed", result.suppliers_departed);
   out.set("events_executed", result.events_executed);
+  out.set("peak_event_list", result.peak_event_list);
   out.set("overall", class_counters_to_json(result.overall));
   Json per_class = Json::array();
   for (const auto& counters : result.totals) {

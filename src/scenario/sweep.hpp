@@ -1,0 +1,57 @@
+// Multi-threaded parameter-study driver ("p2ps_run --sweep").
+//
+// A sweep is the cross product of scenario names × seeds × scales ×
+// event-list backends — the shape of the paper's Section 5 parameter
+// studies (four arrival patterns swept over m, T_out and capacity mixes).
+// Each point is an independent run with its own Simulator and RNGs, so
+// determinism is per-run and the points can execute on a thread pool.
+//
+// Determinism contract: the merged report is assembled in point order
+// (never completion order) and deliberately does not echo the thread
+// count, so for a fixed spec the report is byte-identical whether it ran
+// on 1 thread or N (enforced by tests/sweep_test.cpp and scripts/ci.sh).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/json.hpp"
+#include "sim/event_list.hpp"
+
+namespace p2ps::scenario {
+
+/// One independent (scenario, seed, scale, config-override) run.
+struct SweepPoint {
+  std::string scenario;
+  std::uint64_t seed = 2002;
+  std::int64_t scale = 1;
+  sim::EventListKind event_list = sim::EventListKind::kBinaryHeap;
+};
+
+/// A sweep specification: the cross product of its axes, in deterministic
+/// order (scenario-major, then seed, then scale, then backend).
+struct SweepSpec {
+  std::vector<std::string> scenarios;
+  std::vector<std::uint64_t> seeds = {2002};
+  std::vector<std::int64_t> scales = {1};
+  std::vector<sim::EventListKind> event_lists = {sim::EventListKind::kBinaryHeap};
+
+  /// Expands the cross product; throws ContractViolation when any axis is
+  /// empty or a scenario name is unknown (fail fast, before any run).
+  [[nodiscard]] std::vector<SweepPoint> points() const;
+};
+
+/// Runs every point on a pool of `threads` worker threads (clamped to the
+/// point count; 1 = serial) and merges the per-point envelopes into one
+/// report in point order. Throws ContractViolation for invalid specs and
+/// rethrows the first per-point failure after the pool has drained.
+[[nodiscard]] Json run_sweep(const SweepSpec& spec, int threads);
+[[nodiscard]] Json run_sweep_points(const std::vector<SweepPoint>& points,
+                                    int threads);
+
+/// Splits "a,b,c" into its non-empty fields; used by the CLI axis flags.
+[[nodiscard]] std::vector<std::string> split_csv(std::string_view text);
+
+}  // namespace p2ps::scenario

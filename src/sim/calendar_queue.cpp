@@ -1,6 +1,8 @@
 #include "sim/calendar_queue.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstddef>
 
 namespace p2ps::sim {
 
@@ -46,7 +48,9 @@ void CalendarQueue::push(CalendarEntry entry) {
   // entry; without the clamp, a later resize would re-anchor the cursor
   // past entries scheduled earlier than that and pop them out of order.
   if (entry.time < last_popped_) last_popped_ = entry.time;
-  if (size_ > 2 * buckets_.size()) resize(buckets_.size() * 2);
+  // Grow (doubling) is the moment the entry population has genuinely
+  // changed regime, so it re-estimates the width.
+  if (size_ > 2 * buckets_.size()) resize(buckets_.size() * 2, true);
 }
 
 std::optional<CalendarEntry> CalendarQueue::pop() {
@@ -65,7 +69,10 @@ std::optional<CalendarEntry> CalendarQueue::pop() {
       current_period_start_ = period_start;
       last_popped_ = entry.time;
       if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
-        resize(std::max(kMinBuckets, buckets_.size() / 2));
+        // Shrink keeps the current width: pop-side shrinks fire far more
+        // often than grows, and re-sampling the width on each one is the
+        // estimation cost that made the calendar trail the heap.
+        resize(std::max(kMinBuckets, buckets_.size() / 2), false);
       }
       return entry;
     }
@@ -105,28 +112,32 @@ void CalendarQueue::clear() {
 
 util::SimTime CalendarQueue::estimate_width() const {
   // Classic heuristic: size buckets to roughly three times the average gap
-  // between imminent events, from a small sample.
-  std::vector<util::SimTime> sample;
-  sample.reserve(kWidthSample);
+  // between imminent events, from a small fixed-size (stack) sample — no
+  // heap allocation on the resize path.
+  std::array<util::SimTime, kWidthSample> sample;
+  std::size_t count = 0;
   for (const Bucket& bucket : buckets_) {
     for (const CalendarEntry& entry : bucket) {
-      sample.push_back(entry.time);
-      if (sample.size() >= kWidthSample) break;
+      sample[count++] = entry.time;
+      if (count >= kWidthSample) break;
     }
-    if (sample.size() >= kWidthSample) break;
+    if (count >= kWidthSample) break;
   }
-  if (sample.size() < 2) return width_;
-  std::sort(sample.begin(), sample.end());
+  if (count < 2) return width_;
+  std::sort(sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(count));
   const std::int64_t span =
-      sample.back().as_millis() - sample.front().as_millis();
-  const std::int64_t gap = span / static_cast<std::int64_t>(sample.size() - 1);
+      sample[count - 1].as_millis() - sample[0].as_millis();
+  const std::int64_t gap = span / static_cast<std::int64_t>(count - 1);
   return util::SimTime::millis(std::max<std::int64_t>(1, 3 * gap));
 }
 
-void CalendarQueue::resize(std::size_t new_bucket_count) {
+void CalendarQueue::resize(std::size_t new_bucket_count, bool reestimate_width) {
   ++resizes_;
+  // Sample while the entries are still bucketed (the pre-tuning code
+  // estimated after buckets_ had been moved from, so it always saw an
+  // empty calendar and the width never actually adapted).
+  if (reestimate_width) width_ = estimate_width();
   std::vector<Bucket> old = std::move(buckets_);
-  width_ = estimate_width();
   buckets_.assign(new_bucket_count, Bucket{});
   size_ = 0;
   // Re-anchor the cursor at the last popped time.

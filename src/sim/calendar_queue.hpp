@@ -59,7 +59,11 @@ class CalendarQueue {
 
   [[nodiscard]] std::size_t bucket_index(util::SimTime t) const;
   void insert_sorted(Bucket& bucket, const CalendarEntry& entry);
-  void resize(std::size_t new_bucket_count);
+  /// `reestimate_width` — resample the bucket width while rebucketing.
+  /// Only the grow path (size doubled) re-estimates: the shrink path keeps
+  /// the current width, halving the per-resize cost of the pop-side
+  /// shrink cadence that made the calendar trail the heap on perf_steady.
+  void resize(std::size_t new_bucket_count, bool reestimate_width);
   /// Recomputes the bucket width from a sample of the queue's entries.
   [[nodiscard]] util::SimTime estimate_width() const;
 

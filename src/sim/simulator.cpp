@@ -34,6 +34,7 @@ EventId Simulator::schedule_at(util::SimTime t, Callback cb) {
   const EventId id = pack(index, slot.generation);
   queue_->push(CalendarEntry{t, next_seq_++, id.value()});
   ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
   return id;
 }
 

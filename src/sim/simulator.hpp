@@ -68,6 +68,11 @@ class Simulator {
   /// Number of pending (non-cancelled) events.
   [[nodiscard]] std::size_t pending_count() const { return live_; }
 
+  /// Largest pending_count() ever reached over the simulator's lifetime
+  /// (not reset by clear()). The headline lazy-arrival metric: the eager
+  /// arrival build made this ~population-sized at t=0.
+  [[nodiscard]] std::size_t peak_pending_count() const { return peak_live_; }
+
   /// Executes the next event, if any. Returns false when the queue is empty.
   bool step();
 
@@ -122,6 +127,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
   std::unique_ptr<EventList> queue_;

@@ -161,6 +161,25 @@ double ArrivalSchedule::rate_per_hour_at(util::SimTime t) const {
   return 0.0;
 }
 
+util::SimTime ArrivalSchedule::arrival_at(std::int64_t index) const {
+  P2PS_REQUIRE(index >= 0 && index < total());
+  return times_[static_cast<std::size_t>(index)];
+}
+
+std::optional<util::SimTime> ArrivalCursor::next_arrival() {
+  if (consumed_ >= schedule_->total()) return std::nullopt;
+  return schedule_->arrival_at(consumed_++);
+}
+
+std::optional<util::SimTime> ArrivalCursor::peek() const {
+  if (consumed_ >= schedule_->total()) return std::nullopt;
+  return schedule_->arrival_at(consumed_);
+}
+
+std::int64_t ArrivalCursor::remaining() const {
+  return schedule_->total() - consumed_;
+}
+
 std::int64_t ArrivalSchedule::arrivals_between(util::SimTime from, util::SimTime to) const {
   const auto lo = std::lower_bound(times_.begin(), times_.end(), from);
   const auto hi = std::lower_bound(times_.begin(), times_.end(), to);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -23,6 +24,37 @@
 #include "util/sim_time.hpp"
 
 namespace p2ps::workload {
+
+class ArrivalSchedule;
+
+/// Forward-only cursor over an ArrivalSchedule's arrival times.
+///
+/// This is the lazy consumption API: instead of materialising one simulator
+/// event per arrival up front (an O(population) event-list build), a caller
+/// walks the schedule one arrival at a time and keeps a single event in
+/// flight (see engine::ArrivalSource). The referenced schedule must outlive
+/// the cursor.
+class ArrivalCursor {
+ public:
+  explicit ArrivalCursor(const ArrivalSchedule& schedule) : schedule_(&schedule) {}
+
+  /// Returns the next arrival time and advances, or nullopt once every
+  /// arrival has been consumed (then keeps returning nullopt).
+  [[nodiscard]] std::optional<util::SimTime> next_arrival();
+
+  /// The next arrival time without advancing; nullopt when exhausted.
+  [[nodiscard]] std::optional<util::SimTime> peek() const;
+
+  /// Arrivals already handed out; doubles as the index of the next one.
+  [[nodiscard]] std::int64_t consumed() const { return consumed_; }
+
+  [[nodiscard]] std::int64_t remaining() const;
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  const ArrivalSchedule* schedule_;
+  std::int64_t consumed_ = 0;
+};
 
 enum class ArrivalPattern : int {
   kConstant = 1,
@@ -63,6 +95,13 @@ class ArrivalSchedule {
   /// Arrival times, sorted ascending, exactly `total` of them, all within
   /// [0, window).
   [[nodiscard]] const std::vector<util::SimTime>& times() const { return times_; }
+
+  /// A fresh forward-only cursor over the arrival times, for lazy
+  /// one-event-in-flight consumption. The schedule must outlive it.
+  [[nodiscard]] ArrivalCursor cursor() const { return ArrivalCursor(*this); }
+
+  /// The `index`-th arrival time (0-based, ascending).
+  [[nodiscard]] util::SimTime arrival_at(std::int64_t index) const;
 
   [[nodiscard]] std::int64_t total() const {
     return static_cast<std::int64_t>(times_.size());

@@ -197,6 +197,25 @@ TEST(Simulator, ClearInvalidatesOldIdsAndResetsState) {
   }
 }
 
+TEST(Simulator, PeakPendingTracksTheHighWaterMark) {
+  Simulator s;
+  EXPECT_EQ(s.peak_pending_count(), 0u);
+  const EventId a = s.schedule_at(SimTime::seconds(1), [] {});
+  s.schedule_at(SimTime::seconds(2), [] {});
+  s.schedule_at(SimTime::seconds(3), [] {});
+  EXPECT_EQ(s.peak_pending_count(), 3u);
+  // Draining (or cancelling) lowers pending but never the peak.
+  s.cancel(a);
+  EXPECT_EQ(s.run(), 2u);
+  EXPECT_EQ(s.pending_count(), 0u);
+  EXPECT_EQ(s.peak_pending_count(), 3u);
+  // Re-filling below the old peak leaves it; exceeding it raises it.
+  s.schedule_after(SimTime::seconds(1), [] {});
+  EXPECT_EQ(s.peak_pending_count(), 3u);
+  for (int i = 0; i < 4; ++i) s.schedule_after(SimTime::seconds(2 + i), [] {});
+  EXPECT_EQ(s.peak_pending_count(), 5u);
+}
+
 TEST(Simulator, ReportsItsEventListKind) {
   EXPECT_EQ(Simulator().event_list_kind(), EventListKind::kBinaryHeap);
   EXPECT_EQ(Simulator(EventListKind::kCalendarQueue).event_list_kind(),

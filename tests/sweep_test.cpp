@@ -1,0 +1,140 @@
+// Tests for the multi-threaded parameter-study driver: spec expansion,
+// thread-count-independent byte-identical reports, and failure handling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/sweep.hpp"
+#include "util/assert.hpp"
+
+namespace p2ps::scenario {
+namespace {
+
+SweepSpec small_eight_point_spec() {
+  // 2 scenarios x 2 seeds x 2 scales = 8 independent points, all tiny.
+  SweepSpec spec;
+  spec.scenarios = {"flash_crowd", "churn_resilience"};
+  spec.seeds = {1, 2};
+  spec.scales = {100, 200};
+  return spec;
+}
+
+TEST(SplitCsv, SplitsAndDropsEmptyFields) {
+  EXPECT_EQ(split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv("solo"), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(split_csv(""), (std::vector<std::string>{}));
+  EXPECT_EQ(split_csv("a,,b,"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_csv(",lead"), (std::vector<std::string>{"lead"}));
+}
+
+TEST(SweepSpec, ExpandsTheCrossProductInDeterministicOrder) {
+  const auto points = small_eight_point_spec().points();
+  ASSERT_EQ(points.size(), 8u);
+  // Scenario-major, then seed, then scale.
+  EXPECT_EQ(points[0].scenario, "flash_crowd");
+  EXPECT_EQ(points[0].seed, 1u);
+  EXPECT_EQ(points[0].scale, 100);
+  EXPECT_EQ(points[1].scale, 200);
+  EXPECT_EQ(points[2].seed, 2u);
+  EXPECT_EQ(points[4].scenario, "churn_resilience");
+  EXPECT_EQ(points[7].seed, 2u);
+  EXPECT_EQ(points[7].scale, 200);
+}
+
+TEST(SweepSpec, RejectsEmptyAxesAndUnknownScenarios) {
+  SweepSpec no_scenarios;
+  EXPECT_THROW((void)no_scenarios.points(), util::ContractViolation);
+
+  SweepSpec unknown = small_eight_point_spec();
+  unknown.scenarios.push_back("no_such_scenario");
+  EXPECT_THROW((void)unknown.points(), util::ContractViolation);
+
+  SweepSpec bad_scale = small_eight_point_spec();
+  bad_scale.scales = {0};
+  EXPECT_THROW((void)bad_scale.points(), util::ContractViolation);
+
+  SweepSpec no_seeds = small_eight_point_spec();
+  no_seeds.seeds.clear();
+  EXPECT_THROW((void)no_seeds.points(), util::ContractViolation);
+}
+
+TEST(RunSweep, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)run_sweep(small_eight_point_spec(), 0),
+               util::ContractViolation);
+  EXPECT_THROW((void)run_sweep_points({}, 1), util::ContractViolation);
+}
+
+// The headline determinism contract: an 8-point sweep run twice produces
+// byte-identical merged JSON.
+TEST(RunSweep, EightPointSweepIsByteIdenticalAcrossRuns) {
+  const auto spec = small_eight_point_spec();
+  const std::string first = run_sweep(spec, 2).dump();
+  const std::string second = run_sweep(spec, 2).dump();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// ...and across thread counts: the report never encodes completion order
+// or the pool size, so --threads 1 vs --threads 8 cannot differ.
+TEST(RunSweep, ThreadCountDoesNotChangeTheReport) {
+  const auto spec = small_eight_point_spec();
+  const std::string serial = run_sweep(spec, 1).dump();
+  const std::string parallel = run_sweep(spec, 8).dump();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(RunSweep, ReportMergesEveryPointInSpecOrder) {
+  const auto spec = small_eight_point_spec();
+  const auto report = run_sweep(spec, 4);
+  const std::string text = report.dump();
+  EXPECT_NE(text.find("\"sweep\":{\"points\":8}"), std::string::npos);
+  // Every (scenario, seed, scale) combination appears, and index 0..7 in
+  // order (a proxy for spec-order merging).
+  for (int index = 0; index < 8; ++index) {
+    EXPECT_NE(text.find("\"index\":" + std::to_string(index)), std::string::npos);
+  }
+  std::size_t cursor = 0;
+  for (int index = 0; index < 8; ++index) {
+    const auto at = text.find("\"index\":" + std::to_string(index), cursor);
+    ASSERT_NE(at, std::string::npos) << "index " << index << " out of order";
+    cursor = at;
+  }
+  EXPECT_NE(text.find("\"scenario\":\"flash_crowd\""), std::string::npos);
+  EXPECT_NE(text.find("\"scenario\":\"churn_resilience\""), std::string::npos);
+  EXPECT_NE(text.find("\"seed\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"scale\":200"), std::string::npos);
+}
+
+TEST(RunSweep, BackendAxisIsTheCrossBackendParityCheck) {
+  // Two sweeps over the same points that differ only in the event-list
+  // backend: the scenario envelope omits the backend, so after normalising
+  // the report's own "event_list" label the documents must match byte for
+  // byte — heap/calendar parity at sweep granularity.
+  SweepSpec heap_spec = small_eight_point_spec();
+  heap_spec.event_lists = {sim::EventListKind::kBinaryHeap};
+  SweepSpec calendar_spec = small_eight_point_spec();
+  calendar_spec.event_lists = {sim::EventListKind::kCalendarQueue};
+  const std::string on_heap = run_sweep(heap_spec, 2).dump();
+  std::string on_calendar = run_sweep(calendar_spec, 2).dump();
+  const std::string calendar_label = "\"event_list\":\"calendar\"";
+  const std::string heap_label = "\"event_list\":\"heap\"";
+  for (std::size_t at = on_calendar.find(calendar_label);
+       at != std::string::npos; at = on_calendar.find(calendar_label, at)) {
+    on_calendar.replace(at, calendar_label.size(), heap_label);
+    at += heap_label.size();
+  }
+  EXPECT_EQ(on_heap, on_calendar);
+}
+
+TEST(RunSweep, MoreThreadsThanPointsIsFine) {
+  SweepSpec spec;
+  spec.scenarios = {"flash_crowd"};
+  spec.seeds = {5};
+  spec.scales = {200};
+  const auto report = run_sweep(spec, 16);
+  EXPECT_NE(report.dump().find("\"points\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2ps::scenario

@@ -47,6 +47,88 @@ INSTANTIATE_TEST_SUITE_P(
       return "pattern" + std::to_string(static_cast<int>(info.param));
     });
 
+// ---------- ArrivalCursor (the lazy consumption API) ----------
+
+TEST_P(EveryPattern, CursorWalkMatchesTimesVector) {
+  // The equivalence contract behind the lazy arrival source: walking the
+  // cursor yields exactly the times() vector, in order, for every paper
+  // pattern.
+  const auto schedule = ArrivalSchedule::make(GetParam(), 2'000, kWindow);
+  auto cursor = schedule.cursor();
+  std::vector<SimTime> walked;
+  while (auto t = cursor.next_arrival()) walked.push_back(*t);
+  EXPECT_EQ(walked, schedule.times());
+  EXPECT_TRUE(cursor.exhausted());
+}
+
+TEST(ArrivalCursor, ExhaustionIsSticky) {
+  const auto schedule = ArrivalSchedule::make(ArrivalPattern::kConstant, 3, kWindow);
+  auto cursor = schedule.cursor();
+  EXPECT_EQ(cursor.remaining(), 3);
+  EXPECT_FALSE(cursor.exhausted());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(cursor.next_arrival().has_value());
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_EQ(cursor.remaining(), 0);
+  EXPECT_EQ(cursor.consumed(), 3);
+  // Past the end it keeps returning nullopt — no wraparound, no throw.
+  EXPECT_FALSE(cursor.next_arrival().has_value());
+  EXPECT_FALSE(cursor.next_arrival().has_value());
+  EXPECT_FALSE(cursor.peek().has_value());
+  EXPECT_EQ(cursor.consumed(), 3);
+}
+
+TEST(ArrivalCursor, PeekDoesNotAdvance) {
+  const auto schedule =
+      ArrivalSchedule::make(ArrivalPattern::kRampUpDown, 100, kWindow);
+  auto cursor = schedule.cursor();
+  const auto peeked = cursor.peek();
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(cursor.consumed(), 0);
+  EXPECT_EQ(cursor.next_arrival(), peeked);
+  EXPECT_EQ(cursor.consumed(), 1);
+  EXPECT_EQ(cursor.peek(), schedule.times()[1]);
+}
+
+TEST(ArrivalCursor, SampledVariantWalksIdentically) {
+  util::Rng rng(7);
+  const auto schedule = ArrivalSchedule::make_sampled(
+      ArrivalPattern::kPeriodicBursts, 5'000, kWindow, rng);
+  auto cursor = schedule.cursor();
+  std::vector<SimTime> walked;
+  while (auto t = cursor.next_arrival()) walked.push_back(*t);
+  EXPECT_EQ(walked, schedule.times());
+}
+
+TEST(ArrivalCursor, EmptyScheduleIsBornExhausted) {
+  const auto schedule = ArrivalSchedule::make(ArrivalPattern::kConstant, 0, kWindow);
+  auto cursor = schedule.cursor();
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_FALSE(cursor.peek().has_value());
+  EXPECT_FALSE(cursor.next_arrival().has_value());
+}
+
+TEST(ArrivalCursor, IndependentCursorsDoNotInterfere) {
+  const auto schedule =
+      ArrivalSchedule::make(ArrivalPattern::kBurstThenConstant, 10, kWindow);
+  auto a = schedule.cursor();
+  auto b = schedule.cursor();
+  (void)a.next_arrival();
+  (void)a.next_arrival();
+  EXPECT_EQ(b.consumed(), 0);
+  EXPECT_EQ(b.next_arrival(), schedule.times()[0]);
+  EXPECT_EQ(a.next_arrival(), schedule.times()[2]);
+}
+
+TEST(ArrivalSchedule, ArrivalAtIndexesTheSortedTimes) {
+  const auto schedule =
+      ArrivalSchedule::make(ArrivalPattern::kConstant, 50, kWindow);
+  for (std::int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(schedule.arrival_at(i), schedule.times()[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_THROW((void)schedule.arrival_at(-1), util::ContractViolation);
+  EXPECT_THROW((void)schedule.arrival_at(50), util::ContractViolation);
+}
+
 TEST(Pattern1, ConstantHourlyCounts) {
   const auto schedule =
       ArrivalSchedule::make(ArrivalPattern::kConstant, kTotal, kWindow);
