@@ -15,9 +15,9 @@ int main() {
   using p2ps::util::SimTime;
 
   p2ps::sim::Simulator simulator;
-  p2ps::net::TransportConfig net;
-  net.min_latency = SimTime::millis(20);
-  net.max_latency = SimTime::millis(120);
+  p2ps::net::MailboxConfig net;
+  net.latency.min = SimTime::millis(20);
+  net.latency.max = SimTime::millis(120);
   net.drop_probability = 0.05;  // 5% message loss
   p2ps::net::MessageTransport transport(simulator, net, p2ps::util::Rng(1));
 

@@ -75,6 +75,27 @@ for perf_scenario in perf_steady perf_flash_crowd; do
   }
 done
 
+# Message smoke: the batched mailbox transport's parity contracts on the
+# message-level paper-scale scenario. msg_fig5_scale must be byte-identical
+# across both event-list backends AND across batched/unbatched delivery —
+# the transport mode is pure mechanics (docs/message_batching.md). The
+# heap/batched output was already produced by the smoke loop above.
+echo "==> message smoke: msg_fig5_scale backend + transport parity (seed=${seed}, scale=${scale})"
+"${runner}" msg_fig5_scale --seed "${seed}" --scale "${scale}" --compact \
+    --event-list calendar > "${smoke_dir}/msg_fig5_scale.calendar.json"
+cmp "${smoke_dir}/msg_fig5_scale.1.json" \
+    "${smoke_dir}/msg_fig5_scale.calendar.json" || {
+  echo "FAIL: msg_fig5_scale differs between event-list backends" >&2
+  exit 1
+}
+"${runner}" msg_fig5_scale --seed "${seed}" --scale "${scale}" --compact \
+    --transport unbatched > "${smoke_dir}/msg_fig5_scale.unbatched.json"
+cmp "${smoke_dir}/msg_fig5_scale.1.json" \
+    "${smoke_dir}/msg_fig5_scale.unbatched.json" || {
+  echo "FAIL: msg_fig5_scale differs between batched and unbatched transport" >&2
+  exit 1
+}
+
 # Sweep smoke: a small multi-threaded parameter study (4 points, 2 threads)
 # must produce byte-identical reports run-to-run and across thread counts —
 # the determinism contract of `p2ps_run --sweep`.
@@ -92,5 +113,31 @@ grep -q '"points":4' "${smoke_dir}/sweep.2t.json" || {
   exit 1
 }
 
-echo "==> OK: build, tests, ${count}-scenario smoke pass, perf smoke and" \
-     "sweep smoke all green"
+# Latency-axis smoke: the sweep's message-level axis must expand the cross
+# product deterministically and reject junk tokens with a CLI error (the
+# same fail-fast validation the integer axes got in PR 3).
+echo "==> latency-axis smoke: msg_flash_crowd x {fixed,twoclass}"
+"${runner}" --sweep msg_flash_crowd --latencies fixed,twoclass \
+    --scales "${scale}" --threads 2 --compact > "${smoke_dir}/latency.2t.json"
+"${runner}" --sweep msg_flash_crowd --latencies fixed,twoclass \
+    --scales "${scale}" --threads 1 --compact > "${smoke_dir}/latency.1t.json"
+cmp "${smoke_dir}/latency.2t.json" "${smoke_dir}/latency.1t.json" || {
+  echo "FAIL: latency sweep differs between --threads 2 and --threads 1" >&2
+  exit 1
+}
+grep -q '"points":2' "${smoke_dir}/latency.2t.json" || {
+  echo "FAIL: latency sweep did not cover 2 points" >&2
+  exit 1
+}
+grep -q '"latency":"twoclass"' "${smoke_dir}/latency.2t.json" || {
+  echo "FAIL: latency sweep report does not echo the latency axis" >&2
+  exit 1
+}
+if "${runner}" --sweep msg_flash_crowd --latencies warp --scales "${scale}" \
+    --compact > /dev/null 2>&1; then
+  echo "FAIL: --latencies accepted an invalid model token" >&2
+  exit 1
+fi
+
+echo "==> OK: build, tests, ${count}-scenario smoke pass, perf smoke," \
+     "message smoke, sweep smoke and latency-axis smoke all green"

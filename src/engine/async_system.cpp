@@ -10,9 +10,11 @@ namespace p2ps::engine {
 
 AsyncStreamingSystem::AsyncStreamingSystem(AsyncSimulationConfig config)
     : config_(std::move(config)),
+      simulator_(config_.event_list),
       transport_(simulator_, config_.transport,
                  util::Rng(config_.seed).substream("transport")),
-      metrics_(config_.protocol.num_classes) {
+      metrics_(config_.protocol.num_classes),
+      retries_(simulator_, [this](core::PeerId id) { start_attempt(id); }) {
   workload::validate(config_.population);
   P2PS_REQUIRE(config_.population.num_classes == config_.protocol.num_classes);
   P2PS_REQUIRE(config_.protocol.m_candidates > 0);
@@ -41,7 +43,11 @@ AsyncStreamingSystem::AsyncStreamingSystem(AsyncSimulationConfig config)
       p.cls = requester_classes[i - static_cast<std::size_t>(config_.population.seeds)];
       p.backoff.emplace(config_.protocol.t_bkf, config_.protocol.e_bkf);
     }
+    // The two-class latency model keys on bandwidth class; classes persist
+    // across the per-attempt attach/detach churn, so register them once.
+    transport_.set_peer_class(p.id, p.cls);
   }
+  attempts_.resize(peers_.size());
 }
 
 AsyncStreamingSystem::Peer& AsyncStreamingSystem::peer(core::PeerId id) {
@@ -90,7 +96,8 @@ void AsyncStreamingSystem::first_request(core::PeerId id) {
 void AsyncStreamingSystem::start_attempt(core::PeerId id) {
   Peer& p = peer(id);
   P2PS_CHECK(!p.admitted && !p.endpoint);
-  P2PS_CHECK_MSG(!attempts_.contains(id), "overlapping attempts for one peer");
+  const auto index = static_cast<std::size_t>(id.value());
+  P2PS_CHECK_MSG(!attempts_[index], "overlapping attempts for one peer");
   metrics_.on_attempt(p.cls);
 
   auto candidates =
@@ -109,19 +116,31 @@ void AsyncStreamingSystem::start_attempt(core::PeerId id) {
         on_attempt_done(id, result);
       });
   net::AsyncAdmissionAttempt* raw = attempt.get();
-  attempts_.emplace(id, std::move(attempt));
+  attempts_[index] = std::move(attempt);
   raw->start();
+}
+
+void AsyncStreamingSystem::retire_attempt(core::PeerId id) {
+  // The attempt object is still on the call stack (we are inside its
+  // completion callback); park it on the retirement list, drained by a
+  // single event per tick — however many attempts conclude at this tick,
+  // teardown costs one event, not one per attempt.
+  retired_.push_back(id);
+  if (!retire_event_.valid()) {
+    retire_event_ = simulator_.schedule_after(util::SimTime::zero(), [this] {
+      retire_event_ = sim::EventId::invalid();
+      for (const core::PeerId retired : retired_) {
+        attempts_[static_cast<std::size_t>(retired.value())].reset();
+      }
+      retired_.clear();  // capacity kept — the list itself is pooled
+    });
+  }
 }
 
 void AsyncStreamingSystem::on_attempt_done(
     core::PeerId id, const net::AsyncAdmissionAttempt::Result& result) {
   Peer& p = peer(id);
-
-  // The attempt object is still on the call stack (this is its completion
-  // callback); destroy it one event later.
-  simulator_.schedule_after(util::SimTime::zero(), [this, id] {
-    attempts_.erase(id);
-  });
+  retire_attempt(id);
 
   if (result.admitted) {
     p.admitted = true;
@@ -137,8 +156,7 @@ void AsyncStreamingSystem::on_attempt_done(
   }
 
   metrics_.on_rejection(p.cls);
-  const util::SimTime backoff = p.backoff->on_rejected();
-  simulator_.schedule_after(backoff, [this, id] { start_attempt(id); });
+  retries_.schedule(p.backoff->on_rejected(), id);
 }
 
 void AsyncStreamingSystem::finish_session(core::PeerId requester_id,

@@ -20,7 +20,6 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/admission/requester.hpp"
@@ -28,10 +27,11 @@
 #include "core/ids.hpp"
 #include "engine/config.hpp"
 #include "engine/result.hpp"
+#include "engine/retry_source.hpp"
 #include "lookup/directory.hpp"
 #include "metrics/collector.hpp"
 #include "net/async_admission.hpp"
-#include "net/transport.hpp"
+#include "net/mailbox.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -46,11 +46,17 @@ struct AsyncSimulationConfig {
   util::SimTime horizon = util::SimTime::hours(24);
   util::SimTime session_duration = util::SimTime::minutes(60);
 
-  net::TransportConfig transport;
+  /// Mailbox-router delivery: latency model, loss injection and the
+  /// batched/unbatched mode (a pure mechanics switch — cannot change
+  /// simulation output, see docs/message_batching.md).
+  net::MailboxConfig transport;
   /// Requester-side probe-response timeout.
   util::SimTime response_timeout = util::SimTime::seconds(5);
   /// Supplier-side grant-hold timeout (must exceed response_timeout).
   util::SimTime hold_timeout = util::SimTime::seconds(15);
+
+  /// Simulator event-list backend (byte-identical output either way).
+  sim::EventListKind event_list = sim::EventListKind::kBinaryHeap;
 
   std::uint64_t seed = 42;
   util::SimTime sample_interval = util::SimTime::hours(1);
@@ -87,6 +93,7 @@ class AsyncStreamingSystem {
   void first_request(core::PeerId id);
   void start_attempt(core::PeerId id);
   void on_attempt_done(core::PeerId id, const net::AsyncAdmissionAttempt::Result& r);
+  void retire_attempt(core::PeerId id);
   void finish_session(core::PeerId requester_id,
                       std::vector<lookup::CandidateInfo> suppliers,
                       core::SessionId session);
@@ -102,8 +109,18 @@ class AsyncStreamingSystem {
   util::Rng endpoint_seed_rng_{0};
 
   std::vector<Peer> peers_;
-  std::unordered_map<core::PeerId, std::unique_ptr<net::AsyncAdmissionAttempt>>
-      attempts_;
+  /// In-flight admission attempts, dense by peer index (one per requester
+  /// at most — no hashing on the conclusion path).
+  std::vector<std::unique_ptr<net::AsyncAdmissionAttempt>> attempts_;
+  /// Pooled retirement list: an attempt's completion callback runs with
+  /// the attempt still on the call stack, so concluded attempts are parked
+  /// here and destroyed by ONE drain event per tick — replacing the old
+  /// one-zero-delay-event-per-attempt teardown (ROADMAP open item).
+  std::vector<core::PeerId> retired_;
+  sim::EventId retire_event_ = sim::EventId::invalid();
+  /// Lazy backoff retries: one in-flight event for the whole waiting
+  /// population (the session-level engine's RetrySource trick).
+  RetrySource retries_;
   std::uint64_t next_session_ = 0;
   core::Bandwidth supplier_bandwidth_ = core::Bandwidth::zero();
   std::int64_t suppliers_ = 0;

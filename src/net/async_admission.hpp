@@ -22,13 +22,16 @@
 #include "core/ids.hpp"
 #include "core/selection.hpp"
 #include "lookup/lookup_service.hpp"
+#include "net/mailbox.hpp"
 #include "net/messages.hpp"
-#include "net/transport.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2ps::net {
 
-using MessageTransport = Transport<Message>;
+/// The endpoints run over the batched mailbox router; per-(peer, tick)
+/// batching and the unbatched per-message baseline share one delivery
+/// ordering rule, so the protocol code is mode-oblivious (net/mailbox.hpp).
+using MessageTransport = MailboxRouter<Message>;
 
 /// Supplier-side protocol endpoint: wraps a core::SupplierAdmission and
 /// answers Probe / StartSession / Release / Reminder messages.

@@ -1,0 +1,111 @@
+// Pluggable message-latency models for the mailbox delivery subsystem.
+//
+// The paper evaluates DAC_p2p with instantaneous control exchanges; the
+// message-level engine needs a latency regime to be interesting. Three
+// models cover the studies the related work runs (VoD reviews and
+// BitTorrent-on-demand peer selection evaluate protocols under both
+// homogeneous and access-technology-split latencies):
+//   * kFixed    — every message takes exactly `fixed` (maximally batchable:
+//                 a whole probe fan-out's responses land on one tick);
+//   * kUniform  — per-message U[min, max] at millisecond granularity (the
+//                 legacy Transport regime; models jitter and reordering);
+//   * kTwoClass — deterministic per-endpoint half-latencies split by the
+//                 paper's bandwidth classes: classes 1..ethernet_class_max
+//                 are "ethernet" peers, the rest "modem" peers, and a
+//                 message costs half(from) + half(to).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "core/peer_class.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::net {
+
+enum class LatencyModelKind { kFixed, kUniform, kTwoClass };
+
+[[nodiscard]] inline std::string_view to_string(LatencyModelKind kind) {
+  switch (kind) {
+    case LatencyModelKind::kFixed:
+      return "fixed";
+    case LatencyModelKind::kUniform:
+      return "uniform";
+    case LatencyModelKind::kTwoClass:
+      return "twoclass";
+  }
+  P2PS_CHECK_MSG(false, "unreachable latency model kind");
+  return "";
+}
+
+/// Parses "fixed" | "uniform" | "twoclass"; nullopt on anything else.
+[[nodiscard]] inline std::optional<LatencyModelKind> parse_latency_model_kind(
+    std::string_view token) {
+  if (token == "fixed") return LatencyModelKind::kFixed;
+  if (token == "uniform") return LatencyModelKind::kUniform;
+  if (token == "twoclass") return LatencyModelKind::kTwoClass;
+  return std::nullopt;
+}
+
+struct LatencyModel {
+  LatencyModelKind kind = LatencyModelKind::kUniform;
+
+  /// kUniform: latency ~ U[min, max] (inclusive, whole milliseconds).
+  util::SimTime min = util::SimTime::millis(20);
+  util::SimTime max = util::SimTime::millis(80);
+
+  /// kFixed: every message takes exactly this long.
+  util::SimTime fixed = util::SimTime::millis(40);
+
+  /// kTwoClass: classes 1..ethernet_class_max ride ethernet, the rest a
+  /// modem; a message pays the sum of both endpoints' half-latencies.
+  core::PeerClass ethernet_class_max = 2;
+  util::SimTime ethernet_half = util::SimTime::millis(10);
+  util::SimTime modem_half = util::SimTime::millis(80);
+
+  /// A model of the given kind with this struct's default parameters.
+  [[nodiscard]] static LatencyModel of(LatencyModelKind kind) {
+    LatencyModel model;
+    model.kind = kind;
+    return model;
+  }
+
+  void validate() const {
+    P2PS_REQUIRE(min >= util::SimTime::zero());
+    P2PS_REQUIRE(max >= min);
+    P2PS_REQUIRE(fixed >= util::SimTime::zero());
+    P2PS_REQUIRE(ethernet_half >= util::SimTime::zero());
+    P2PS_REQUIRE(modem_half >= util::SimTime::zero());
+    P2PS_REQUIRE(ethernet_class_max >= core::kHighestClass);
+  }
+
+  /// Latency of one message. Only kUniform consumes randomness; the other
+  /// models are deterministic functions of the endpoints, which is what
+  /// makes whole probe fan-outs land on one delivery tick and batch.
+  [[nodiscard]] util::SimTime sample(core::PeerClass from_class,
+                                     core::PeerClass to_class,
+                                     util::Rng& rng) const {
+    switch (kind) {
+      case LatencyModelKind::kFixed:
+        return fixed;
+      case LatencyModelKind::kUniform: {
+        const std::int64_t spread = max.as_millis() - min.as_millis();
+        if (spread == 0) return min;
+        return min + util::SimTime::millis(rng.uniform_int(0, spread));
+      }
+      case LatencyModelKind::kTwoClass:
+        return half_latency(from_class) + half_latency(to_class);
+    }
+    P2PS_CHECK_MSG(false, "unreachable latency model kind");
+    return util::SimTime::zero();
+  }
+
+ private:
+  [[nodiscard]] util::SimTime half_latency(core::PeerClass cls) const {
+    return cls <= ethernet_class_max ? ethernet_half : modem_half;
+  }
+};
+
+}  // namespace p2ps::net

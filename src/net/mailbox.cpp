@@ -1,0 +1,22 @@
+#include "net/mailbox.hpp"
+
+namespace p2ps::net {
+
+std::string_view to_string(TransportMode mode) {
+  switch (mode) {
+    case TransportMode::kBatched:
+      return "batched";
+    case TransportMode::kUnbatched:
+      return "unbatched";
+  }
+  P2PS_CHECK_MSG(false, "unreachable transport mode");
+  return "";
+}
+
+std::optional<TransportMode> parse_transport_mode(std::string_view token) {
+  if (token == "batched") return TransportMode::kBatched;
+  if (token == "unbatched") return TransportMode::kUnbatched;
+  return std::nullopt;
+}
+
+}  // namespace p2ps::net

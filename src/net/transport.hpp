@@ -1,15 +1,18 @@
-// Simulated message transport.
+// Simulated message transport (legacy per-message-event baseline).
 //
 // The session-level engine (src/engine) models probes as instantaneous,
-// exactly like the paper's evaluation. This transport is the message-level
-// substrate for the *distributed* form of DAC_p2p: unicast with configurable
-// latency and loss, delivered as discrete-event callbacks. It demonstrates
-// that the protocol needs no global state — every decision happens at a
-// peer, on receipt of a message.
+// exactly like the paper's evaluation. This transport is the original
+// message-level substrate for the *distributed* form of DAC_p2p: unicast
+// with configurable latency and loss, one simulator event per message. The
+// message-level engines now run on the batched MailboxRouter
+// (net/mailbox.hpp), which shares this file's Envelope vocabulary; this
+// class remains as the generic-payload transport for tests and as the
+// reference for the per-message delivery ordering the router's rule is
+// argued against (docs/message_batching.md).
 #pragma once
 
+#include <deque>
 #include <functional>
-#include <unordered_map>
 #include <utility>
 
 #include "core/ids.hpp"
@@ -53,17 +56,29 @@ class Transport {
     P2PS_REQUIRE(config.drop_probability >= 0.0 && config.drop_probability <= 1.0);
   }
 
-  /// Registers (or replaces) the message handler for `node`.
+  /// Registers (or replaces) the message handler for `node`. Peer ids must
+  /// be small dense integers (the engines' ids are): handlers live in a
+  /// direct-mapped table — O(max id) memory for hash-free delivery, the
+  /// same trade the directory's id index makes.
   void attach(core::PeerId node, Handler handler) {
     P2PS_REQUIRE(node.valid());
     P2PS_REQUIRE(handler != nullptr);
-    handlers_[node] = std::move(handler);
+    const auto index = static_cast<std::size_t>(node.value());
+    if (index >= handlers_.size()) handlers_.resize(index + 1);
+    handlers_[index] = std::move(handler);
   }
 
   /// Removes a node; queued messages to it are dropped on delivery.
-  void detach(core::PeerId node) { handlers_.erase(node); }
+  void detach(core::PeerId node) {
+    if (node.value() < handlers_.size()) {
+      handlers_[static_cast<std::size_t>(node.value())] = nullptr;
+    }
+  }
 
-  [[nodiscard]] bool attached(core::PeerId node) const { return handlers_.contains(node); }
+  [[nodiscard]] bool attached(core::PeerId node) const {
+    return node.value() < handlers_.size() &&
+           handlers_[static_cast<std::size_t>(node.value())] != nullptr;
+  }
 
   /// Sends `payload` from `from` to `to`. Returns false when the message
   /// was dropped at send time (loss injection); queued otherwise.
@@ -77,13 +92,13 @@ class Transport {
     const util::SimTime latency = sample_latency();
     simulator_.schedule_after(
         latency, [this, envelope = Envelope<Payload>{from, to, std::move(payload)}] {
-          auto it = handlers_.find(envelope.to);
-          if (it == handlers_.end()) {
+          const auto index = static_cast<std::size_t>(envelope.to.value());
+          if (index >= handlers_.size() || handlers_[index] == nullptr) {
             ++undeliverable_;
             return;  // receiver down/detached
           }
           ++delivered_;
-          it->second(envelope);
+          handlers_[index](envelope);
         });
     return true;
   }
@@ -105,7 +120,10 @@ class Transport {
   sim::Simulator& simulator_;
   TransportConfig config_;
   util::Rng rng_;
-  std::unordered_map<core::PeerId, Handler> handlers_;
+  /// Dense by peer id — no hashing. A deque, not a vector: a handler may
+  /// attach a previously unseen peer, and growing the table must not
+  /// relocate the handler currently executing.
+  std::deque<Handler> handlers_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

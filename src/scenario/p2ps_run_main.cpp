@@ -4,13 +4,16 @@
 //   p2ps_run <scenario> [--seed N]       run one scenario, JSON to stdout
 //            [--scale D]                 population divisor (1 = paper scale)
 //            [--event-list heap|calendar] simulator event-list backend
+//            [--latency fixed|uniform|twoclass] message-level latency model
+//            [--transport batched|unbatched]    mailbox delivery mode
 //            [--out FILE]                also write the JSON to FILE
 //            [--compact]                 single-line JSON (default: pretty)
 //   p2ps_run --sweep <scenario...>       parameter study: run the cross
 //            [--scenarios a,b]           product of scenarios × seeds ×
-//            [--seeds 1,2] [--scales D,E] scales × backends on a thread
-//            [--event-lists heap,calendar] pool, merged into one JSON
-//            [--threads N]               report in deterministic point order
+//            [--seeds 1,2] [--scales D,E] scales × backends × latencies on
+//            [--event-lists heap,calendar] a thread pool, merged into one
+//            [--latencies fixed,twoclass] JSON report in deterministic
+//            [--threads N]               point order
 //
 // Determinism contract: the same (scenario, seed, scale) always emits
 // byte-identical JSON, so diffs against a stored BENCH_*.json are
@@ -27,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "net/latency.hpp"
+#include "net/mailbox.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
 #include "sim/event_list.hpp"
@@ -54,10 +59,12 @@ int list_scenarios() {
 int usage(const std::string& program) {
   std::cerr << "usage: " << program
             << " <scenario> [--seed N] [--scale D] [--event-list heap|calendar]"
-               " [--out FILE] [--compact]\n"
+               " [--latency fixed|uniform|twoclass]"
+               " [--transport batched|unbatched] [--out FILE] [--compact]\n"
             << "       " << program
             << " --sweep <scenario...> [--scenarios a,b] [--seeds N,M]"
-               " [--scales D,E] [--event-lists heap,calendar] [--threads N]"
+               " [--scales D,E] [--event-lists heap,calendar]"
+               " [--latencies fixed,twoclass] [--threads N]"
                " [--out FILE] [--compact]\n"
             << "       " << program << " --list\n";
   return 2;
@@ -68,6 +75,17 @@ std::optional<p2ps::sim::EventListKind> parse_backend(const std::string& token) 
   const auto kind = p2ps::sim::parse_event_list_kind(token);
   if (!kind) {
     std::cerr << "error: event-list backend must be 'heap' or 'calendar', got '"
+              << token << "'\n";
+  }
+  return kind;
+}
+
+/// Parses one latency-model token or dies with a CLI error message.
+std::optional<p2ps::net::LatencyModelKind> parse_latency(const std::string& token) {
+  const auto kind = p2ps::net::parse_latency_model_kind(token);
+  if (!kind) {
+    std::cerr << "error: latency model must be 'fixed', 'uniform' or"
+                 " 'twoclass', got '"
               << token << "'\n";
   }
   return kind;
@@ -211,6 +229,14 @@ int main(int argc, char** argv) {
           spec.event_lists.push_back(*kind);
         }
       }
+      if (const auto latencies = flags.value("latencies")) {
+        spec.latencies.clear();
+        for (const auto& token : p2ps::scenario::split_csv(*latencies)) {
+          const auto kind = parse_latency(token);
+          if (!kind) return 2;
+          spec.latencies.push_back(*kind);
+        }
+      }
       const auto hardware =
           static_cast<std::int64_t>(std::thread::hardware_concurrency());
       const std::int64_t threads =
@@ -241,6 +267,23 @@ int main(int argc, char** argv) {
       const auto kind = parse_backend(backend);
       if (!kind) return 2;
       options.event_list = *kind;
+
+      // Message-level knobs; session-level scenarios simply ignore them.
+      const std::string latency = flags.get_string("latency", "");
+      if (!latency.empty()) {
+        const auto model = parse_latency(latency);
+        if (!model) return 2;
+        options.latency = *model;
+      }
+      const std::string transport = flags.get_string("transport", "batched");
+      const auto mode = p2ps::net::parse_transport_mode(transport);
+      if (!mode) {
+        std::cerr << "error: transport mode must be 'batched' or 'unbatched',"
+                     " got '"
+                  << transport << "'\n";
+        return 2;
+      }
+      options.transport = *mode;
 
       // Reject typos before the run — a paper-scale simulation is too
       // expensive to discard on one.

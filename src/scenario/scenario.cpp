@@ -46,6 +46,7 @@ void register_all_scenarios() {
   register_workload_scenarios(registry);
   register_ablation_scenarios(registry);
   register_perf_scenarios(registry);
+  register_message_scenarios(registry);
 }
 
 Json run_scenario(std::string_view name, const ScenarioOptions& options) {

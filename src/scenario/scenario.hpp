@@ -17,6 +17,8 @@
 
 #include "engine/config.hpp"
 #include "engine/result.hpp"
+#include "net/latency.hpp"
+#include "net/mailbox.hpp"
 #include "scenario/json.hpp"
 
 namespace p2ps::scenario {
@@ -31,6 +33,16 @@ struct ScenarioOptions {
   /// envelope: both backends must produce byte-identical JSON, and keeping
   /// the field out lets tests/ci assert that by comparing whole documents.
   sim::EventListKind event_list = sim::EventListKind::kBinaryHeap;
+  /// Latency model for message-level (msg_* / perf_messages) scenarios;
+  /// unset = each scenario's own default. Echoed inside those scenarios'
+  /// payloads (it is a real workload parameter), ignored by session-level
+  /// scenarios.
+  std::optional<net::LatencyModelKind> latency;
+  /// Mailbox delivery mode for message-level scenarios. Like the event
+  /// list, deliberately byte-invisible: batched and unbatched runs must
+  /// emit identical JSON (docs/message_batching.md), and keeping the field
+  /// out of every payload lets tests compare whole documents.
+  net::TransportMode transport = net::TransportMode::kBatched;
 };
 
 using ScenarioFn = std::function<Json(const ScenarioOptions&)>;
@@ -99,5 +111,6 @@ void register_figure_scenarios(Registry& registry);
 void register_workload_scenarios(Registry& registry);
 void register_ablation_scenarios(Registry& registry);
 void register_perf_scenarios(Registry& registry);
+void register_message_scenarios(Registry& registry);
 
 }  // namespace p2ps::scenario

@@ -29,6 +29,7 @@ std::vector<SweepPoint> SweepSpec::points() const {
   P2PS_REQUIRE_MSG(!seeds.empty(), "sweep needs at least one seed");
   P2PS_REQUIRE_MSG(!scales.empty(), "sweep needs at least one scale");
   P2PS_REQUIRE_MSG(!event_lists.empty(), "sweep needs at least one event list");
+  P2PS_REQUIRE_MSG(!latencies.empty(), "sweep needs at least one latency model");
   register_all_scenarios();
   for (const auto& name : scenarios) {
     P2PS_REQUIRE_MSG(Registry::instance().find(name) != nullptr,
@@ -40,12 +41,14 @@ std::vector<SweepPoint> SweepSpec::points() const {
   }
   std::vector<SweepPoint> out;
   out.reserve(scenarios.size() * seeds.size() * scales.size() *
-              event_lists.size());
+              event_lists.size() * latencies.size());
   for (const auto& name : scenarios) {
     for (const std::uint64_t seed : seeds) {
       for (const std::int64_t scale : scales) {
         for (const sim::EventListKind kind : event_lists) {
-          out.push_back(SweepPoint{name, seed, scale, kind});
+          for (const auto& latency : latencies) {
+            out.push_back(SweepPoint{name, seed, scale, kind, latency});
+          }
         }
       }
     }
@@ -79,6 +82,7 @@ Json run_sweep_points(const std::vector<SweepPoint>& points, int threads) {
         options.seed = point.seed;
         options.scale = point.scale;
         options.event_list = point.event_list;
+        options.latency = point.latency;
         runs[index] = run_scenario(point.scenario, options);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(failure_mutex);
@@ -118,6 +122,10 @@ Json run_sweep_points(const std::vector<SweepPoint>& points, int threads) {
     Json entry = Json::object();
     entry.set("index", static_cast<std::int64_t>(index));
     entry.set("event_list", std::string(to_string(points[index].event_list)));
+    entry.set("latency",
+              points[index].latency
+                  ? std::string(net::to_string(*points[index].latency))
+                  : std::string("default"));
     entry.set("run", std::move(runs[index]));
     merged.push_back(std::move(entry));
   }

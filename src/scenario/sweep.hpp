@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "net/latency.hpp"
 #include "scenario/json.hpp"
 #include "sim/event_list.hpp"
 
@@ -28,15 +30,19 @@ struct SweepPoint {
   std::uint64_t seed = 2002;
   std::int64_t scale = 1;
   sim::EventListKind event_list = sim::EventListKind::kBinaryHeap;
+  /// Latency model for message-level scenarios; nullopt = the scenario's
+  /// own default (session-level scenarios ignore the axis entirely).
+  std::optional<net::LatencyModelKind> latency;
 };
 
 /// A sweep specification: the cross product of its axes, in deterministic
-/// order (scenario-major, then seed, then scale, then backend).
+/// order (scenario-major, then seed, scale, backend, latency).
 struct SweepSpec {
   std::vector<std::string> scenarios;
   std::vector<std::uint64_t> seeds = {2002};
   std::vector<std::int64_t> scales = {1};
   std::vector<sim::EventListKind> event_lists = {sim::EventListKind::kBinaryHeap};
+  std::vector<std::optional<net::LatencyModelKind>> latencies = {std::nullopt};
 
   /// Expands the cross product; throws ContractViolation when any axis is
   /// empty or a scenario name is unknown (fail fast, before any run).

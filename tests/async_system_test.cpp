@@ -65,8 +65,8 @@ TEST(AsyncEngine, LatencyShowsUpInWaitingTimes) {
   // Control messages add (tiny) real latency on top of backoff waits;
   // everything still completes.
   auto config = small_config();
-  config.transport.min_latency = SimTime::millis(200);
-  config.transport.max_latency = SimTime::millis(800);
+  config.transport.latency.min = SimTime::millis(200);
+  config.transport.latency.max = SimTime::millis(800);
   const auto result = AsyncStreamingSystem(config).run();
   EXPECT_GT(result.overall.admissions, 40);
 }

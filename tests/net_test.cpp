@@ -108,7 +108,7 @@ struct AsyncWorld {
   MessageTransport transport;
   std::vector<std::unique_ptr<SupplierEndpoint>> suppliers;
 
-  explicit AsyncWorld(TransportConfig config = {})
+  explicit AsyncWorld(MailboxConfig config = {})
       : transport(simulator, config, util::Rng(11)) {}
 
   SupplierEndpoint& add_supplier(std::uint64_t id, core::PeerClass cls,
@@ -241,7 +241,7 @@ TEST(AsyncAdmission, RemindersCanBeDisabled) {
 }
 
 TEST(AsyncAdmission, TotalMessageLossTimesOutAndRejects) {
-  TransportConfig lossy;
+  MailboxConfig lossy;
   lossy.drop_probability = 1.0;
   AsyncWorld world(lossy);
   world.add_supplier(1, 1);

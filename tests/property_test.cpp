@@ -159,8 +159,8 @@ TEST(CrossEngine, SyncAndAsyncAgreeOnAPerfectNetwork) {
   async_config.arrival_window = sync_config.arrival_window;
   async_config.horizon = sync_config.horizon;
   async_config.seed = 77;
-  async_config.transport.min_latency = SimTime::zero();
-  async_config.transport.max_latency = SimTime::zero();
+  async_config.transport.latency.min = SimTime::zero();
+  async_config.transport.latency.max = SimTime::zero();
   async_config.transport.drop_probability = 0.0;
 
   const auto sync_result = engine::StreamingSystem(sync_config).run();

@@ -127,6 +127,41 @@ TEST(RunSweep, BackendAxisIsTheCrossBackendParityCheck) {
   EXPECT_EQ(on_heap, on_calendar);
 }
 
+TEST(SweepSpec, LatencyAxisIsTheInnermostDimension) {
+  SweepSpec spec;
+  spec.scenarios = {"msg_flash_crowd"};
+  spec.seeds = {1};
+  spec.scales = {400};
+  spec.latencies = {net::LatencyModelKind::kFixed,
+                    net::LatencyModelKind::kTwoClass};
+  const auto points = spec.points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].latency, net::LatencyModelKind::kFixed);
+  EXPECT_EQ(points[1].latency, net::LatencyModelKind::kTwoClass);
+
+  SweepSpec empty = spec;
+  empty.latencies.clear();
+  EXPECT_THROW((void)empty.points(), util::ContractViolation);
+}
+
+TEST(RunSweep, LatencyAxisIsEchoedAndChangesMessageLevelRuns) {
+  SweepSpec spec;
+  spec.scenarios = {"msg_flash_crowd"};
+  spec.seeds = {1};
+  spec.scales = {400};
+  spec.latencies = {net::LatencyModelKind::kFixed,
+                    net::LatencyModelKind::kTwoClass};
+  const auto report = run_sweep(spec, 2);
+  const std::string text = report.dump();
+  EXPECT_NE(text.find("\"latency\":\"fixed\""), std::string::npos);
+  EXPECT_NE(text.find("\"latency\":\"twoclass\""), std::string::npos);
+  // The default axis renders as "default" (the scenario picks its model).
+  SweepSpec defaulted = spec;
+  defaulted.latencies = {std::nullopt};
+  const std::string default_text = run_sweep(defaulted, 1).dump();
+  EXPECT_NE(default_text.find("\"latency\":\"default\""), std::string::npos);
+}
+
 TEST(RunSweep, MoreThreadsThanPointsIsFine) {
   SweepSpec spec;
   spec.scenarios = {"flash_crowd"};
