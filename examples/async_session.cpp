@@ -9,12 +9,14 @@
 
 #include "net/async_admission.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_service.hpp"
 
 int main() {
   using p2ps::core::PeerId;
   using p2ps::util::SimTime;
 
   p2ps::sim::Simulator simulator;
+  p2ps::sim::TimerService timers(simulator);
   p2ps::net::MailboxConfig net;
   net.latency.min = SimTime::millis(20);
   net.latency.max = SimTime::millis(120);
@@ -29,7 +31,7 @@ int main() {
     p2ps::net::SupplierEndpoint::Config config;
     config.num_classes = 4;
     suppliers.push_back(std::make_unique<p2ps::net::SupplierEndpoint>(
-        PeerId{i}, classes[i], config, simulator, transport,
+        PeerId{i}, classes[i], config, timers, transport,
         p2ps::util::Rng(100 + i)));
     candidates.push_back({PeerId{i}, classes[i]});
     std::cout << "supplier Ps" << i << " online (class " << classes[i]

@@ -1,24 +1,24 @@
 #!/usr/bin/env bash
 # Throughput + event-list benchmark: runs the `perf` scenario family — now
-# including the message-level `perf_messages` workload batched vs unbatched
-# — plus a fig5-scale parameter study in a Release build and writes
-# BENCH_<n>.json, one point on the repo's perf trajectory.
+# including the message-level `perf_messages` workload under all three
+# TimerService strategies — plus a fig5-scale parameter study in a Release
+# build and writes BENCH_<n>.json, one point on the repo's perf trajectory.
 #
 # Usage: scripts/bench.sh [build-dir] [out-file]
 #   P2PS_BENCH_SEED    seed for the perf runs          (default 2002)
 #   P2PS_BENCH_SCALE   population divisor              (default 1 = full)
 #   P2PS_BENCH_REPS    timed repetitions per backend   (default 3, best-of)
 #
-# Output schema (BENCH_4.json):
+# Output schema (BENCH_5.json):
 #   single_run                 perf_steady wall/events-per-sec per backend
 #                              (best-of-reps; the PR-2 headline comparison)
 #   peak_event_list            fig5-scale run: lazy peak vs the eager
-#                              baseline (pre-PR-3 the t=0 arrival build put
-#                              every requester in the queue)
-#   messages                   perf_messages batched vs unbatched: events
-#                              executed, peak event list and events/sec per
-#                              delivery mode — what per-(peer, tick)
-#                              batching buys the message-level engine
+#                              baseline, now with the timer/non-timer split
+#   timers                     perf_messages under --timers events (the
+#                              PR-4 event-per-timer baseline) vs wheel vs
+#                              lazy: wall clock, events executed and the
+#                              peak event list each strategy leaves — what
+#                              the TimerService buys (docs/timers.md)
 #   sweep                      8-point parameter study: serial vs
 #                              multi-threaded wall clock on this host
 #   cores                      detected cores (the >=3x sweep speedup
@@ -34,7 +34,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
-out_file="${2:-${repo_root}/BENCH_4.json}"
+out_file="${2:-${repo_root}/BENCH_5.json}"
 seed="${P2PS_BENCH_SEED:-2002}"
 scale="${P2PS_BENCH_SCALE:-1}"
 reps="${P2PS_BENCH_REPS:-3}"
@@ -95,8 +95,13 @@ headline=$(( eps_heap > eps_calendar ? eps_heap : eps_calendar ))
 echo "==> peak event list on the fig5-scale run (lazy vs eager baseline)"
 "${runner}" fig5_admission_rate --seed "${seed}" --scale "${scale}" --compact \
     > "${tmp_dir}/fig5.json"
-fig5_peak="$(grep -o '"peak_event_list":[0-9]*' "${tmp_dir}/fig5.json" \
-    | cut -d: -f2 | sort -n | tail -1)"
+# The payload emits the peak and its timer share adjacently; take both
+# from the run (DAC or NDAC) whose peak is largest, so the reported pair
+# is internally consistent.
+read -r fig5_peak fig5_peak_timers <<< "$(grep -oE \
+    '"peak_event_list":[0-9]+,"peak_event_list_timers":[0-9]+' \
+    "${tmp_dir}/fig5.json" \
+    | awk -F'[:,]' '$2 + 0 >= m { m = $2 + 0; t = $4 + 0 } END { print m, t }')"
 # The eager baseline scheduled one event per requester at t=0: its peak was
 # >= the requester population, read from the run's own counters (overall
 # first_requests) so it tracks the scenario and the divisor's rounding.
@@ -104,7 +109,7 @@ eager_peak="$(grep -o '"first_requests":[0-9]*' "${tmp_dir}/fig5.json" \
     | cut -d: -f2 | sort -n | tail -1)"
 peak_reduction=$(( fig5_peak > 0 ? eager_peak / fig5_peak : 0 ))
 
-echo "==> message-level verify: msg_fig5_scale backend + transport parity"
+echo "==> message-level verify: msg_fig5_scale backend + transport + timer parity"
 "${runner}" msg_fig5_scale --seed "${seed}" --scale "${scale}" --compact \
     > "${tmp_dir}/msg.batched.json"
 "${runner}" msg_fig5_scale --seed "${seed}" --scale "${scale}" --compact \
@@ -119,33 +124,46 @@ cmp "${tmp_dir}/msg.batched.json" "${tmp_dir}/msg.unbatched.json" || {
   echo "FAIL: msg_fig5_scale differs between batched and unbatched transport" >&2
   exit 1
 }
+# Timer strategies may only change the event-core mechanics counters
+# (docs/timers.md); msg_* payloads carry none, so they compare whole.
+for strategy in lazy events; do
+  "${runner}" msg_fig5_scale --seed "${seed}" --scale "${scale}" --compact \
+      --timers "${strategy}" > "${tmp_dir}/msg.${strategy}.json"
+  cmp "${tmp_dir}/msg.batched.json" "${tmp_dir}/msg.${strategy}.json" || {
+    echo "FAIL: msg_fig5_scale differs under --timers ${strategy}" >&2
+    exit 1
+  }
+done
 
-echo "==> message-level timing: perf_messages batched vs unbatched (${reps} reps, best-of)"
-for mode in batched unbatched; do
+echo "==> timer-strategy timing: perf_messages x {events,wheel,lazy} (${reps} reps, best-of)"
+for strategy in events wheel lazy; do
   "${runner}" perf_messages --seed "${seed}" --scale "${scale}" --compact \
-      --transport "${mode}" > "${tmp_dir}/perf_msg.${mode}.json"
+      --timers "${strategy}" > "${tmp_dir}/perf_msg.${strategy}.json"
   best=""
   for rep in $(seq "${reps}"); do
     start="$(now_ms)"
     "${runner}" perf_messages --seed "${seed}" --scale "${scale}" --compact \
-        --transport "${mode}" > /dev/null
+        --timers "${strategy}" > /dev/null
     elapsed=$(( $(now_ms) - start ))
-    echo "    perf_messages ${mode} rep ${rep}: ${elapsed} ms"
+    echo "    perf_messages ${strategy} rep ${rep}: ${elapsed} ms"
     if [ -z "${best}" ] || [ "${elapsed}" -lt "${best}" ]; then best="${elapsed}"; fi
   done
-  eval "msg_best_ms_${mode}=${best}"
-  eval "msg_events_${mode}=$(grep -o '"events_executed":[0-9]*' \
-      "${tmp_dir}/perf_msg.${mode}.json" | head -1 | cut -d: -f2)"
-  eval "msg_peak_${mode}=$(grep -o '"peak_event_list":[0-9]*' \
-      "${tmp_dir}/perf_msg.${mode}.json" | head -1 | cut -d: -f2)"
+  eval "msg_best_ms_${strategy}=${best}"
+  eval "msg_events_${strategy}=$(grep -o '"events_executed":[0-9]*' \
+      "${tmp_dir}/perf_msg.${strategy}.json" | head -1 | cut -d: -f2)"
+  eval "msg_peak_${strategy}=$(grep -o '"peak_event_list":[0-9]*' \
+      "${tmp_dir}/perf_msg.${strategy}.json" | head -1 | cut -d: -f2)"
+  eval "msg_peak_timers_${strategy}=$(grep -o '"peak_event_list_timers":[0-9]*' \
+      "${tmp_dir}/perf_msg.${strategy}.json" | head -1 | cut -d: -f2)"
 done
-msg_sent="$(grep -o '"sent":[0-9]*' "${tmp_dir}/perf_msg.batched.json" | head -1 | cut -d: -f2)"
-msg_eps_batched="$(eps "${msg_events_batched}" "${msg_best_ms_batched}")"
-msg_eps_unbatched="$(eps "${msg_events_unbatched}" "${msg_best_ms_unbatched}")"
-msg_event_cut_x100=$(( msg_events_batched > 0 \
-    ? msg_events_unbatched * 100 / msg_events_batched : 0 ))
-msg_speedup_x100=$(( msg_best_ms_batched > 0 \
-    ? msg_best_ms_unbatched * 100 / msg_best_ms_batched : 0 ))
+msg_sent="$(grep -o '"sent":[0-9]*' "${tmp_dir}/perf_msg.wheel.json" | head -1 | cut -d: -f2)"
+timers_fired="$(grep -o '"timers_fired":[0-9]*' "${tmp_dir}/perf_msg.wheel.json" | head -1 | cut -d: -f2)"
+msg_eps_events="$(eps "${msg_events_events}" "${msg_best_ms_events}")"
+msg_eps_wheel="$(eps "${msg_events_wheel}" "${msg_best_ms_wheel}")"
+msg_eps_lazy="$(eps "${msg_events_lazy}" "${msg_best_ms_lazy}")"
+timer_peak_reduction=$(( msg_peak_wheel > 0 ? msg_peak_events / msg_peak_wheel : 0 ))
+timer_speedup_x100=$(( msg_best_ms_wheel > 0 \
+    ? msg_best_ms_events * 100 / msg_best_ms_wheel : 0 ))
 
 echo "==> sweep: 8 points (perf_steady x 8 seeds, scale $((scale * 4))), serial vs ${cores} threads"
 sweep_args=(--sweep perf_steady --seeds 1,2,3,4,5,6,7,8
@@ -165,7 +183,7 @@ speedup_x100=$(( parallel_ms > 0 ? serial_ms * 100 / parallel_ms : 0 ))
 
 cat > "${out_file}" <<EOF
 {
-  "bench": "batched mailbox transport + pooled async teardown",
+  "bench": "unified lazy TimerService (wheel + deadline-check-on-probe)",
   "scenario": "${scenario}",
   "seed": ${seed},
   "scale": ${scale},
@@ -181,25 +199,36 @@ cat > "${out_file}" <<EOF
     "scenario": "fig5_admission_rate",
     "eager_baseline": ${eager_peak},
     "lazy_peak": ${fig5_peak},
+    "lazy_peak_timer_share": ${fig5_peak_timers},
     "reduction_factor": ${peak_reduction}
   },
-  "messages": {
+  "timers": {
     "scenario": "perf_messages",
     "messages_sent": ${msg_sent},
-    "batched": {
-      "wall_ms": ${msg_best_ms_batched},
-      "events_executed": ${msg_events_batched},
-      "events_per_sec": ${msg_eps_batched},
-      "peak_event_list": ${msg_peak_batched}
+    "timers_fired": ${timers_fired},
+    "events": {
+      "wall_ms": ${msg_best_ms_events},
+      "events_executed": ${msg_events_events},
+      "events_per_sec": ${msg_eps_events},
+      "peak_event_list": ${msg_peak_events},
+      "peak_event_list_timers": ${msg_peak_timers_events}
     },
-    "unbatched": {
-      "wall_ms": ${msg_best_ms_unbatched},
-      "events_executed": ${msg_events_unbatched},
-      "events_per_sec": ${msg_eps_unbatched},
-      "peak_event_list": ${msg_peak_unbatched}
+    "wheel": {
+      "wall_ms": ${msg_best_ms_wheel},
+      "events_executed": ${msg_events_wheel},
+      "events_per_sec": ${msg_eps_wheel},
+      "peak_event_list": ${msg_peak_wheel},
+      "peak_event_list_timers": ${msg_peak_timers_wheel}
     },
-    "event_reduction_x100": ${msg_event_cut_x100},
-    "speedup_x100": ${msg_speedup_x100}
+    "lazy": {
+      "wall_ms": ${msg_best_ms_lazy},
+      "events_executed": ${msg_events_lazy},
+      "events_per_sec": ${msg_eps_lazy},
+      "peak_event_list": ${msg_peak_lazy},
+      "peak_event_list_timers": ${msg_peak_timers_lazy}
+    },
+    "peak_reduction_factor": ${timer_peak_reduction},
+    "speedup_x100_events_to_wheel": ${timer_speedup_x100}
   },
   "sweep": {
     "points": 8,
@@ -213,7 +242,10 @@ cat > "${out_file}" <<EOF
 EOF
 echo "==> wrote ${out_file}: ${events} events, best ${headline} events/sec" \
      "(heap ${eps_heap}, calendar ${eps_calendar});" \
-     "fig5 peak ${fig5_peak} vs eager ${eager_peak} (${peak_reduction}x);" \
-     "messages ${msg_best_ms_unbatched}ms unbatched -> ${msg_best_ms_batched}ms" \
-     "batched (${msg_events_unbatched} -> ${msg_events_batched} events);" \
+     "fig5 peak ${fig5_peak} (${fig5_peak_timers} timers) vs eager" \
+     "${eager_peak} (${peak_reduction}x);" \
+     "timers: perf_messages peak ${msg_peak_events} (events) ->" \
+     "${msg_peak_wheel} (wheel, ${timer_peak_reduction}x)," \
+     "wall ${msg_best_ms_events}ms -> ${msg_best_ms_wheel}ms wheel /" \
+     "${msg_best_ms_lazy}ms lazy;" \
      "sweep ${serial_ms}ms serial -> ${parallel_ms}ms on ${cores} threads"

@@ -139,5 +139,64 @@ if "${runner}" --sweep msg_flash_crowd --latencies warp --scales "${scale}" \
   exit 1
 fi
 
+# Timer smoke: the TimerService strategy is pure event-core mechanics, so
+# one session-level and one message-level scenario must emit identical
+# payloads under all three --timers strategies once the mechanics counters
+# are normalized away (the same strip scenario::strip_event_mechanics and
+# tests/scenario_test.cpp apply; docs/timers.md carries the argument).
+echo "==> timer smoke: fig5_admission_rate + msg_flash_crowd x {wheel,lazy,events}"
+strip_mechanics() {
+  sed -E 's/"(events_executed|peak_event_list|peak_event_list_timers|peak_event_list_other|timer_events_scheduled)":[0-9]+/"\1":0/g'
+}
+for timer_scenario in fig5_admission_rate msg_flash_crowd; do
+  for strategy in wheel lazy events; do
+    "${runner}" "${timer_scenario}" --seed "${seed}" --scale "${scale}" \
+        --compact --timers "${strategy}" | strip_mechanics \
+        > "${smoke_dir}/${timer_scenario}.${strategy}.json"
+  done
+  for strategy in lazy events; do
+    cmp "${smoke_dir}/${timer_scenario}.wheel.json" \
+        "${smoke_dir}/${timer_scenario}.${strategy}.json" || {
+      echo "FAIL: ${timer_scenario} differs between --timers wheel and" \
+           "--timers ${strategy}" >&2
+      exit 1
+    }
+  done
+done
+if "${runner}" fig5_admission_rate --timers sundial --scale "${scale}" \
+    --compact > /dev/null 2>&1; then
+  echo "FAIL: --timers accepted an invalid strategy token" >&2
+  exit 1
+fi
+
+# Loss-axis smoke: the sweep's --losses axis must expand deterministically,
+# change the run (not just the echo), and reject junk or out-of-range
+# tokens with a CLI error, like the other axes.
+echo "==> loss-axis smoke: msg_flash_crowd x {0,0.5}"
+"${runner}" --sweep msg_flash_crowd --losses 0,0.5 --scales "${scale}" \
+    --threads 2 --compact > "${smoke_dir}/loss.2t.json"
+"${runner}" --sweep msg_flash_crowd --losses 0,0.5 --scales "${scale}" \
+    --threads 1 --compact > "${smoke_dir}/loss.1t.json"
+cmp "${smoke_dir}/loss.2t.json" "${smoke_dir}/loss.1t.json" || {
+  echo "FAIL: loss sweep differs between --threads 2 and --threads 1" >&2
+  exit 1
+}
+grep -q '"loss":0.5' "${smoke_dir}/loss.2t.json" || {
+  echo "FAIL: loss sweep report does not echo the loss axis" >&2
+  exit 1
+}
+grep -q '"drop_probability":0.5' "${smoke_dir}/loss.2t.json" || {
+  echo "FAIL: loss axis did not reach the transport config" >&2
+  exit 1
+}
+for bad_loss in warp 1.5 0.5x; do
+  if "${runner}" --sweep msg_flash_crowd --losses "${bad_loss}" \
+      --scales "${scale}" --compact > /dev/null 2>&1; then
+    echo "FAIL: --losses accepted invalid token '${bad_loss}'" >&2
+    exit 1
+  fi
+done
+
 echo "==> OK: build, tests, ${count}-scenario smoke pass, perf smoke," \
-     "message smoke, sweep smoke and latency-axis smoke all green"
+     "message smoke, sweep smoke, latency-axis smoke, timer smoke and" \
+     "loss-axis smoke all green"

@@ -11,6 +11,7 @@ namespace p2ps::engine {
 AsyncStreamingSystem::AsyncStreamingSystem(AsyncSimulationConfig config)
     : config_(std::move(config)),
       simulator_(config_.event_list),
+      timers_(simulator_, config_.timers),
       transport_(simulator_, config_.transport,
                  util::Rng(config_.seed).substream("transport")),
       metrics_(config_.protocol.num_classes),
@@ -79,7 +80,7 @@ void AsyncStreamingSystem::make_supplier(Peer& p) {
   endpoint_config.session_watchdog =
       config_.session_duration + 4 * config_.hold_timeout;
   p.endpoint = std::make_unique<net::SupplierEndpoint>(
-      p.id, p.cls, endpoint_config, simulator_, transport_,
+      p.id, p.cls, endpoint_config, timers_, transport_,
       util::Rng(endpoint_seed_rng_()));
   directory_.register_supplier(p.id, p.cls);
   supplier_bandwidth_ += core::Bandwidth::class_offer(p.cls);
@@ -87,6 +88,7 @@ void AsyncStreamingSystem::make_supplier(Peer& p) {
 }
 
 void AsyncStreamingSystem::first_request(core::PeerId id) {
+  timers_.poll();  // deadline-check-on-entry: see docs/timers.md
   Peer& p = peer(id);
   p.first_request_time = simulator_.now();
   metrics_.on_first_request(p.cls);
@@ -94,6 +96,7 @@ void AsyncStreamingSystem::first_request(core::PeerId id) {
 }
 
 void AsyncStreamingSystem::start_attempt(core::PeerId id) {
+  timers_.poll();
   Peer& p = peer(id);
   P2PS_CHECK(!p.admitted && !p.endpoint);
   const auto index = static_cast<std::size_t>(id.value());
@@ -162,6 +165,7 @@ void AsyncStreamingSystem::on_attempt_done(
 void AsyncStreamingSystem::finish_session(core::PeerId requester_id,
                                           std::vector<lookup::CandidateInfo> suppliers,
                                           core::SessionId session) {
+  timers_.poll();
   // Tear down: one EndSession per supplier (loss is survivable — each
   // endpoint also runs a session watchdog).
   for (const auto& supplier : suppliers) {
@@ -174,6 +178,7 @@ void AsyncStreamingSystem::finish_session(core::PeerId requester_id,
 }
 
 void AsyncStreamingSystem::take_sample(util::SimTime t) {
+  timers_.poll();
   metrics_.hourly_sample(t, capacity(), sessions_active_, suppliers_);
 }
 
@@ -202,6 +207,9 @@ SimulationResult AsyncStreamingSystem::run() {
                         [this](util::SimTime t) { take_sample(t); });
   simulator_.run_until(config_.horizon);
   sampler.stop();
+  // Expire timers due by the horizon that no message touched, so the
+  // endpoint states read below agree across timer strategies.
+  timers_.poll();
 
   SimulationResult result;
   result.num_classes = config_.protocol.num_classes;
@@ -219,6 +227,8 @@ SimulationResult AsyncStreamingSystem::run() {
   result.events_executed = simulator_.executed_count();
   result.peak_event_list =
       static_cast<std::int64_t>(simulator_.peak_pending_count());
+  result.peak_event_list_timers =
+      static_cast<std::int64_t>(simulator_.peak_pending_timers());
   return result;
 }
 

@@ -58,6 +58,12 @@ struct AsyncSimulationConfig {
   /// Simulator event-list backend (byte-identical output either way).
   sim::EventListKind event_list = sim::EventListKind::kBinaryHeap;
 
+  /// Timer strategy for the endpoint timeouts (grant holds, idle
+  /// elevation, session watchdogs) — the population that dominated the
+  /// peak event list before the TimerService. Byte-identical output
+  /// across strategies (docs/timers.md).
+  sim::TimerConfig timers;
+
   std::uint64_t seed = 42;
   util::SimTime sample_interval = util::SimTime::hours(1);
 };
@@ -73,6 +79,7 @@ class AsyncStreamingSystem {
   [[nodiscard]] std::int64_t capacity() const;
   [[nodiscard]] std::int64_t supplier_count() const { return suppliers_; }
   [[nodiscard]] const net::MessageTransport& transport() const { return transport_; }
+  [[nodiscard]] const sim::TimerService& timer_service() const { return timers_; }
   [[nodiscard]] const metrics::MetricsCollector& metrics() const { return metrics_; }
   /// Suppliers currently serving a session (from endpoint state).
   [[nodiscard]] std::int64_t busy_suppliers() const;
@@ -101,6 +108,10 @@ class AsyncStreamingSystem {
 
   AsyncSimulationConfig config_;
   sim::Simulator simulator_;
+  /// Endpoint timeout population. Declared before the peers (and their
+  /// endpoints) so it outlives every handle cancelled in their
+  /// destructors.
+  sim::TimerService timers_;
   net::MessageTransport transport_;
   lookup::DirectoryService directory_;
   metrics::MetricsCollector metrics_;

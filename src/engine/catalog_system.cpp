@@ -12,6 +12,7 @@ namespace p2ps::engine {
 
 CatalogStreamingSystem::CatalogStreamingSystem(CatalogConfig config)
     : config_(std::move(config)),
+      timers_(simulator_, config_.timers),
       metrics_(config_.protocol.num_classes),
       popularity_(static_cast<std::size_t>(std::max<std::int64_t>(1, config_.files)),
                   config_.zipf_skew) {
@@ -86,29 +87,36 @@ void CatalogStreamingSystem::make_supplier(Peer& p) {
 }
 
 void CatalogStreamingSystem::arm_idle_timer(Peer& p) {
-  disarm_idle_timer(p);
-  if (!config_.protocol.differentiated) return;
-  if (p.supplier->vector().fully_relaxed()) return;
+  arm_idle_timer_at(p, simulator_.now() + config_.protocol.t_out);
+}
+
+void CatalogStreamingSystem::arm_idle_timer_at(Peer& p, util::SimTime deadline) {
+  if (!config_.protocol.differentiated || p.supplier->vector().fully_relaxed()) {
+    disarm_idle_timer(p);
+    return;
+  }
+  if (timers_.rearm_at(p.idle_timer, deadline)) return;
   const core::PeerId id = p.id;
-  p.idle_timer = simulator_.schedule_after(config_.protocol.t_out,
-                                           [this, id] { on_idle_timeout(id); });
+  p.idle_timer = timers_.arm_at(
+      deadline, [this, id](util::SimTime at) { on_idle_timeout(id, at); });
 }
 
 void CatalogStreamingSystem::disarm_idle_timer(Peer& p) {
   if (p.idle_timer.valid()) {
-    simulator_.cancel(p.idle_timer);
-    p.idle_timer = sim::EventId::invalid();
+    timers_.cancel(p.idle_timer);
+    p.idle_timer = sim::TimerId::invalid();
   }
 }
 
-void CatalogStreamingSystem::on_idle_timeout(core::PeerId id) {
+void CatalogStreamingSystem::on_idle_timeout(core::PeerId id, util::SimTime at) {
   Peer& p = peer(id);
-  p.idle_timer = sim::EventId::invalid();
+  p.idle_timer = sim::TimerId::invalid();
   p.supplier->on_idle_timeout();
-  arm_idle_timer(p);
+  arm_idle_timer_at(p, at + config_.protocol.t_out);  // deadline-anchored chain
 }
 
 void CatalogStreamingSystem::first_request(core::PeerId id) {
+  timers_.poll();  // deadline-check-on-entry: see docs/timers.md
   Peer& p = peer(id);
   p.first_request_time = simulator_.now();
   metrics_.on_first_request(p.cls);
@@ -117,6 +125,7 @@ void CatalogStreamingSystem::first_request(core::PeerId id) {
 }
 
 void CatalogStreamingSystem::attempt_admission(core::PeerId id) {
+  timers_.poll();  // fire due elevations before probing supplier vectors
   Peer& p = peer(id);
   metrics_.on_attempt(p.cls);
   auto& directory = directories_[static_cast<std::size_t>(p.file)];
@@ -184,6 +193,7 @@ void CatalogStreamingSystem::attempt_admission(core::PeerId id) {
 }
 
 void CatalogStreamingSystem::end_session(core::SessionId id) {
+  timers_.poll();
   const auto it = sessions_.find(id);
   P2PS_CHECK(it != sessions_.end());
   const ActiveSession session = std::move(it->second);
@@ -200,6 +210,7 @@ void CatalogStreamingSystem::end_session(core::SessionId id) {
 }
 
 void CatalogStreamingSystem::take_sample(util::SimTime t) {
+  timers_.poll();
   core::Bandwidth total = core::Bandwidth::zero();
   for (core::Bandwidth bandwidth : file_bandwidth_) total += bandwidth;
   metrics_.hourly_sample(t, core::capacity(total),
@@ -260,6 +271,7 @@ CatalogResult CatalogStreamingSystem::run() {
                         [this](util::SimTime t) { take_sample(t); });
   simulator_.run_until(config_.horizon);
   sampler.stop();
+  timers_.poll();  // fire stragglers due by the horizon (lazy strategies)
   if (config_.validate_invariants) check_invariants();
 
   CatalogResult result;
@@ -281,6 +293,8 @@ CatalogResult CatalogStreamingSystem::run() {
   result.overall.events_executed = simulator_.executed_count();
   result.overall.peak_event_list =
       static_cast<std::int64_t>(simulator_.peak_pending_count());
+  result.overall.peak_event_list_timers =
+      static_cast<std::int64_t>(simulator_.peak_pending_timers());
 
   result.per_file.reserve(static_cast<std::size_t>(config_.files));
   for (std::int64_t f = 0; f < config_.files; ++f) {

@@ -25,6 +25,7 @@
 #include "lookup/directory.hpp"
 #include "metrics/collector.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_service.hpp"
 #include "util/rng.hpp"
 #include "workload/zipf.hpp"
 
@@ -46,6 +47,10 @@ struct CatalogConfig {
   std::uint64_t seed = 42;
   util::SimTime sample_interval = util::SimTime::hours(1);
   bool validate_invariants = true;
+
+  /// Timer strategy for the per-peer idle elevation timers (pure
+  /// mechanics; byte-identical output across strategies, docs/timers.md).
+  sim::TimerConfig timers;
 };
 
 /// Per-file end-of-run summary.
@@ -84,7 +89,7 @@ class CatalogStreamingSystem {
     util::SimTime first_request_time = util::SimTime::zero();
     std::optional<core::SupplierAdmission> supplier;
     std::optional<core::RequesterBackoff> backoff;
-    sim::EventId idle_timer = sim::EventId::invalid();
+    sim::TimerId idle_timer = sim::TimerId::invalid();
     util::Rng grant_rng{0};
   };
 
@@ -98,8 +103,9 @@ class CatalogStreamingSystem {
   [[nodiscard]] const Peer& peer(core::PeerId id) const;
   void make_supplier(Peer& p);
   void arm_idle_timer(Peer& p);
+  void arm_idle_timer_at(Peer& p, util::SimTime deadline);
   void disarm_idle_timer(Peer& p);
-  void on_idle_timeout(core::PeerId id);
+  void on_idle_timeout(core::PeerId id, util::SimTime at);
   void first_request(core::PeerId id);
   void attempt_admission(core::PeerId id);
   void end_session(core::SessionId id);
@@ -108,6 +114,7 @@ class CatalogStreamingSystem {
 
   CatalogConfig config_;
   sim::Simulator simulator_;
+  sim::TimerService timers_;
   std::vector<lookup::DirectoryService> directories_;  // one per file
   metrics::MetricsCollector metrics_;
   workload::ZipfDistribution popularity_;

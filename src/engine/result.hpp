@@ -37,6 +37,10 @@ struct SimulationResult {
   /// peak_pending_count()). With lazy arrival sources this is
   /// O(active sessions + timers), not O(population).
   std::int64_t peak_event_list = 0;
+  /// Timer-tagged share of the pending population at the peak instant
+  /// (TimerService events) — what the wheel/lazy timer strategies
+  /// collapse. The remainder is the protocol's own event traffic.
+  std::int64_t peak_event_list_timers = 0;
 
   /// Chord routing statistics (populated when lookup == kChord).
   std::uint64_t lookup_routed = 0;

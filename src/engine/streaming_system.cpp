@@ -28,6 +28,7 @@ std::unique_ptr<lookup::LookupService> make_lookup(LookupKind kind) {
 StreamingSystem::StreamingSystem(SimulationConfig config)
     : config_(std::move(config)),
       simulator_(config_.event_list),
+      timers_(simulator_, config_.timers),
       retries_(simulator_, [this](core::PeerId id) { attempt_admission(id); }),
       lookup_(make_lookup(config_.lookup)),
       metrics_(config_.protocol.num_classes) {
@@ -103,8 +104,14 @@ const core::SupplierAdmission* StreamingSystem::supplier_state(core::PeerId id) 
 
 void StreamingSystem::trace_event(TraceKind kind, const Peer& p,
                                   core::SessionId session, std::int64_t detail) {
+  trace_event_at(simulator_.now(), kind, p, session, detail);
+}
+
+void StreamingSystem::trace_event_at(util::SimTime t, TraceKind kind,
+                                     const Peer& p, core::SessionId session,
+                                     std::int64_t detail) {
   if (trace_) {
-    trace_->record(TraceEvent{simulator_.now(), kind, p.id, p.cls, session, detail});
+    trace_->record(TraceEvent{t, kind, p.id, p.cls, session, detail});
   }
 }
 
@@ -148,34 +155,49 @@ void StreamingSystem::make_supplier(Peer& p) {
 }
 
 void StreamingSystem::arm_idle_timer(Peer& p) {
-  disarm_idle_timer(p);
+  arm_idle_timer_at(p, simulator_.now() + config_.protocol.t_out);
+}
+
+void StreamingSystem::arm_idle_timer_at(Peer& p, util::SimTime deadline) {
   // Timers only exist where the protocol can still change: DAC mode with a
   // not-yet-fully-relaxed vector.
-  if (!config_.protocol.differentiated) return;
+  if (!config_.protocol.differentiated ||
+      (p.supplier.has_value() && p.supplier->vector().fully_relaxed())) {
+    disarm_idle_timer(p);
+    return;
+  }
   P2PS_CHECK(p.supplier.has_value());
-  if (p.supplier->vector().fully_relaxed()) return;
+  // Rearm keeps the handle and callback — the hot path (one per released
+  // supplier per session) is a deadline update, which under the lazy
+  // strategy costs no event-list traffic at all.
+  if (timers_.rearm_at(p.idle_timer, deadline)) return;
   const core::PeerId id = p.id;
-  p.idle_timer = simulator_.schedule_after(config_.protocol.t_out,
-                                           [this, id] { on_idle_timeout(id); });
+  p.idle_timer = timers_.arm_at(
+      deadline, [this, id](util::SimTime at) { on_idle_timeout(id, at); });
 }
 
 void StreamingSystem::disarm_idle_timer(Peer& p) {
   if (p.idle_timer.valid()) {
-    simulator_.cancel(p.idle_timer);
-    p.idle_timer = sim::EventId::invalid();
+    timers_.cancel(p.idle_timer);
+    p.idle_timer = sim::TimerId::invalid();
   }
 }
 
-void StreamingSystem::on_idle_timeout(core::PeerId id) {
+void StreamingSystem::on_idle_timeout(core::PeerId id, util::SimTime at) {
   Peer& p = peer(id);
-  p.idle_timer = sim::EventId::invalid();
+  p.idle_timer = sim::TimerId::invalid();
   P2PS_CHECK(p.supplier.has_value() && !p.supplier->busy());
   mutate_supplier(p, [&] { p.supplier->on_idle_timeout(); });
-  trace_event(TraceKind::kIdleElevation, p);
-  arm_idle_timer(p);  // no-op once fully relaxed
+  trace_event_at(at, TraceKind::kIdleElevation, p);
+  // The chain anchors at the deadline, NOT the clock: a lazily delivered
+  // elevation must schedule the next one exactly where the event-per-timer
+  // baseline would have (and if that instant has already passed, the timer
+  // fires during this same poll, catching the chain up step by step).
+  arm_idle_timer_at(p, at + config_.protocol.t_out);
 }
 
 void StreamingSystem::first_request(core::PeerId id) {
+  timers_.poll();  // deadline-check-on-entry: see docs/timers.md
   Peer& p = peer(id);
   p.first_request_time = simulator_.now();
   metrics_.on_first_request(p.cls);
@@ -184,6 +206,10 @@ void StreamingSystem::first_request(core::PeerId id) {
 }
 
 void StreamingSystem::attempt_admission(core::PeerId id) {
+  // Every handler fires due idle timers before reading supplier state, so
+  // the probes below always see vectors as of this instant — regardless of
+  // which timer strategy delivers the elevations (docs/timers.md).
+  timers_.poll();
   Peer& p = peer(id);
   P2PS_CHECK(!p.admitted && !p.is_supplier);
   metrics_.on_attempt(p.cls);
@@ -297,6 +323,7 @@ void StreamingSystem::attempt_admission(core::PeerId id) {
 }
 
 void StreamingSystem::end_session(core::SessionId id) {
+  timers_.poll();
   const auto it = sessions_.find(id);
   P2PS_CHECK(it != sessions_.end());
   const ActiveSession session = std::move(it->second);
@@ -329,11 +356,16 @@ void StreamingSystem::end_session(core::SessionId id) {
 }
 
 void StreamingSystem::take_sample(util::SimTime t) {
+  timers_.poll();
   metrics_.hourly_sample(t, capacity(), active_sessions(), suppliers_);
   if (config_.validate_invariants) check_invariants();
 }
 
 void StreamingSystem::take_favored_sample(util::SimTime t) {
+  // The favored sums are mutated by idle elevations; fire every elevation
+  // due by `t` before reading them, or the lazy strategies would sample
+  // stale aggregates.
+  timers_.poll();
   // O(num_classes): the per-class sums are maintained incrementally at
   // every vector mutation (make/depart/mutate_supplier). The sums are
   // integers, so the averages are bit-identical to the full-population
@@ -443,6 +475,10 @@ SimulationResult StreamingSystem::run() {
   simulator_.run_until(config_.horizon);
   sampler.stop();
   favored_sampler.stop();
+  // Fire any timers due by the horizon that no handler touched (the lazy
+  // sweep may still be a fraction of a period away), so the end-of-run
+  // state below is identical across timer strategies.
+  timers_.poll();
 
   P2PS_CHECK_MSG(arrivals.done(), "horizon covers the arrival window, so "
                                   "every first request must have fired");
@@ -466,6 +502,8 @@ SimulationResult StreamingSystem::run() {
   result.events_executed = simulator_.executed_count();
   result.peak_event_list =
       static_cast<std::int64_t>(simulator_.peak_pending_count());
+  result.peak_event_list_timers =
+      static_cast<std::int64_t>(simulator_.peak_pending_timers());
   if (const auto* chord = dynamic_cast<const lookup::ChordLookup*>(lookup_.get())) {
     result.lookup_routed = chord->stats().lookups;
     result.lookup_mean_hops = chord->stats().mean_hops();

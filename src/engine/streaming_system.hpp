@@ -26,6 +26,7 @@
 #include "lookup/lookup_service.hpp"
 #include "metrics/collector.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_service.hpp"
 #include "util/rng.hpp"
 
 namespace p2ps::engine {
@@ -65,7 +66,7 @@ class StreamingSystem {
     util::SimTime first_request_time = util::SimTime::zero();
     std::optional<core::SupplierAdmission> supplier;
     std::optional<core::RequesterBackoff> backoff;
-    sim::EventId idle_timer = sim::EventId::invalid();
+    sim::TimerId idle_timer = sim::TimerId::invalid();
     util::Rng grant_rng{0};  ///< supplier-side probabilistic admission tests
   };
 
@@ -87,9 +88,14 @@ class StreamingSystem {
   void depart_supplier(Peer& p);
 
   /// (Re)arms the idle elevation timer when the protocol needs one.
+  /// The _at form anchors the deadline explicitly — timer callbacks use it
+  /// to chain from their own deadline rather than the clock.
   void arm_idle_timer(Peer& p);
+  void arm_idle_timer_at(Peer& p, util::SimTime deadline);
   void disarm_idle_timer(Peer& p);
-  void on_idle_timeout(core::PeerId id);
+  /// `at` is the timer's deadline — the logical firing time, which the lazy
+  /// timer strategies may deliver after the clock has moved on.
+  void on_idle_timeout(core::PeerId id, util::SimTime at);
 
   void first_request(core::PeerId id);
   void attempt_admission(core::PeerId id);
@@ -104,13 +110,23 @@ class StreamingSystem {
   void take_favored_sample(util::SimTime t);
   void check_invariants() const;
 
-  /// Records a trace event when tracing is enabled.
+  /// Records a trace event when tracing is enabled, at the current clock
+  /// or (for timer firings) at an explicit timestamp — a lazily delivered
+  /// firing must leave the same record as an on-time one.
   void trace_event(TraceKind kind, const Peer& p,
                    core::SessionId session = core::SessionId::invalid(),
                    std::int64_t detail = 0);
+  void trace_event_at(util::SimTime t, TraceKind kind, const Peer& p,
+                      core::SessionId session = core::SessionId::invalid(),
+                      std::int64_t detail = 0);
 
   SimulationConfig config_;
   sim::Simulator simulator_;
+  /// Idle elevation timers for every registered supplier, behind the
+  /// strategy picked by config.timers (event-per-timer, wheel, or lazy
+  /// deadline checks). Every event handler polls it on entry, which is
+  /// what keeps the strategies byte-interchangeable (docs/timers.md).
+  sim::TimerService timers_;
   /// Backoff retries of waiting peers, exposed to the simulator as one
   /// in-flight event (keeps the event list O(active sessions + timers)
   /// instead of O(waiting population); see engine/retry_source.hpp).

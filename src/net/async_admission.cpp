@@ -8,11 +8,11 @@
 namespace p2ps::net {
 
 SupplierEndpoint::SupplierEndpoint(core::PeerId self, core::PeerClass own_class,
-                                   const Config& config, sim::Simulator& simulator,
+                                   const Config& config, sim::TimerService& timers,
                                    MessageTransport& transport, util::Rng rng)
     : self_(self),
       config_(config),
-      simulator_(simulator),
+      timers_(timers),
       transport_(transport),
       rng_(rng),
       admission_(config.num_classes, own_class, config.differentiated) {
@@ -25,36 +25,47 @@ SupplierEndpoint::SupplierEndpoint(core::PeerId self, core::PeerClass own_class,
 SupplierEndpoint::~SupplierEndpoint() {
   clear_hold();
   disarm_idle_timer();
-  if (watchdog_event_.valid()) simulator_.cancel(watchdog_event_);
+  if (watchdog_timer_.valid()) timers_.cancel(watchdog_timer_);
   transport_.detach(self_);
 }
 
 void SupplierEndpoint::arm_idle_timer() {
-  disarm_idle_timer();
-  if (config_.t_out <= util::SimTime::zero()) return;
-  if (!admission_.differentiated() || admission_.vector().fully_relaxed()) return;
-  idle_timer_event_ = simulator_.schedule_after(config_.t_out, [this] {
-    idle_timer_event_ = sim::EventId::invalid();
+  arm_idle_timer_at(timers_.now() + config_.t_out);
+}
+
+void SupplierEndpoint::arm_idle_timer_at(util::SimTime deadline) {
+  if (config_.t_out <= util::SimTime::zero() || !admission_.differentiated() ||
+      admission_.vector().fully_relaxed()) {
+    disarm_idle_timer();
+    return;
+  }
+  if (timers_.rearm_at(idle_timer_, deadline)) return;
+  idle_timer_ = timers_.arm_at(deadline, [this](util::SimTime at) {
+    idle_timer_ = sim::TimerId::invalid();
     if (!admission_.busy()) admission_.on_idle_timeout();
-    arm_idle_timer();
+    arm_idle_timer_at(at + config_.t_out);  // deadline-anchored chain
   });
 }
 
 void SupplierEndpoint::disarm_idle_timer() {
-  if (idle_timer_event_.valid()) {
-    simulator_.cancel(idle_timer_event_);
-    idle_timer_event_ = sim::EventId::invalid();
+  if (idle_timer_.valid()) {
+    timers_.cancel(idle_timer_);
+    idle_timer_ = sim::TimerId::invalid();
   }
 }
 
 void SupplierEndpoint::clear_hold() {
-  if (hold_timeout_event_.valid()) {
-    simulator_.cancel(hold_timeout_event_);
-    hold_timeout_event_ = sim::EventId::invalid();
+  if (hold_timer_.valid()) {
+    timers_.cancel(hold_timer_);
+    hold_timer_ = sim::TimerId::invalid();
   }
 }
 
 void SupplierEndpoint::on_message(const Envelope<Message>& envelope) {
+  // Deadline-check-on-message-touch: expire every due hold, idle period
+  // and watchdog before this message reads or mutates admission state, so
+  // all timer strategies answer it identically (docs/timers.md).
+  timers_.poll();
   if (const auto* probe = std::get_if<Probe>(&envelope.payload)) {
     ProbeResponse response;
     response.supplier_class = admission_.own_class();
@@ -71,10 +82,10 @@ void SupplierEndpoint::on_message(const Envelope<Message>& envelope) {
       response.favors_requester = outcome.favors_requester;
       if (outcome.reply == core::ProbeReply::kGranted) {
         // Hold the slot for the requester until commit, release or timeout.
-        hold_timeout_event_ =
-            simulator_.schedule_after(config_.hold_timeout, [this] {
-              hold_timeout_event_ = sim::EventId::invalid();
-            });
+        // Expiry needs no callback work: holding() is deadline-aware.
+        hold_timer_ = timers_.arm_after(
+            config_.hold_timeout,
+            [this](util::SimTime) { hold_timer_ = sim::TimerId::invalid(); });
       }
     }
     transport_.send(self_, envelope.from, response);
@@ -91,11 +102,14 @@ void SupplierEndpoint::on_message(const Envelope<Message>& envelope) {
       admission_.on_session_start();
       active_session_ = start->session;
       if (config_.session_watchdog > util::SimTime::zero()) {
-        watchdog_event_ = simulator_.schedule_after(config_.session_watchdog, [this] {
-          watchdog_event_ = sim::EventId::invalid();
-          // Teardown never arrived: free the slot unilaterally.
-          if (admission_.busy()) end_session();
-        });
+        watchdog_timer_ =
+            timers_.arm_after(config_.session_watchdog, [this](util::SimTime at) {
+              watchdog_timer_ = sim::TimerId::invalid();
+              // Teardown never arrived: free the slot unilaterally. The
+              // idle chain this starts anchors at the watchdog's own
+              // deadline, wherever the clock is when it fires.
+              if (admission_.busy()) end_session_at(at);
+            });
       }
     }
     return;
@@ -125,15 +139,17 @@ void SupplierEndpoint::on_message(const Envelope<Message>& envelope) {
   }
 }
 
-void SupplierEndpoint::end_session() {
+void SupplierEndpoint::end_session() { end_session_at(timers_.now()); }
+
+void SupplierEndpoint::end_session_at(util::SimTime at) {
   P2PS_REQUIRE_MSG(admission_.busy(), "no session to end");
-  if (watchdog_event_.valid()) {
-    simulator_.cancel(watchdog_event_);
-    watchdog_event_ = sim::EventId::invalid();
+  if (watchdog_timer_.valid()) {
+    timers_.cancel(watchdog_timer_);
+    watchdog_timer_ = sim::TimerId::invalid();
   }
   admission_.on_session_end();
   active_session_ = core::SessionId::invalid();
-  arm_idle_timer();
+  arm_idle_timer_at(at + config_.t_out);
 }
 
 void SupplierEndpoint::idle_elevate() {

@@ -25,6 +25,7 @@
 #include "net/mailbox.hpp"
 #include "net/messages.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_service.hpp"
 
 namespace p2ps::net {
 
@@ -51,8 +52,13 @@ class SupplierEndpoint {
     util::SimTime session_watchdog = util::SimTime::zero();
   };
 
+  /// All three endpoint timeouts (grant hold, idle elevation, session
+  /// watchdog) ride `timers` — they are message-silent, so they satisfy the
+  /// TimerService callback contract. The requester-side response timeout
+  /// does NOT (its firing sends commits/releases) and stays a plain
+  /// simulator event in AsyncAdmissionAttempt.
   SupplierEndpoint(core::PeerId self, core::PeerClass own_class, const Config& config,
-                   sim::Simulator& simulator, MessageTransport& transport,
+                   sim::TimerService& timers, MessageTransport& transport,
                    util::Rng rng);
   ~SupplierEndpoint();
   SupplierEndpoint(const SupplierEndpoint&) = delete;
@@ -60,7 +66,7 @@ class SupplierEndpoint {
 
   [[nodiscard]] core::PeerId id() const { return self_; }
   [[nodiscard]] const core::SupplierAdmission& admission() const { return admission_; }
-  [[nodiscard]] bool holding() const { return hold_timeout_event_.valid(); }
+  [[nodiscard]] bool holding() const { return timers_.pending(hold_timer_); }
   [[nodiscard]] bool in_session() const { return admission_.busy(); }
 
   /// Ends the supplier's current session (driven by the session owner) and
@@ -79,17 +85,21 @@ class SupplierEndpoint {
   void on_message(const Envelope<Message>& envelope);
   void clear_hold();
   void arm_idle_timer();
+  /// Deadline-anchored form: timer callbacks chain from their own deadline
+  /// (not the clock), so lazily delivered firings stay bit-identical.
+  void arm_idle_timer_at(util::SimTime deadline);
   void disarm_idle_timer();
+  void end_session_at(util::SimTime at);
 
   core::PeerId self_;
   Config config_;
-  sim::Simulator& simulator_;
+  sim::TimerService& timers_;
   MessageTransport& transport_;
   util::Rng rng_;
   core::SupplierAdmission admission_;
-  sim::EventId hold_timeout_event_ = sim::EventId::invalid();
-  sim::EventId idle_timer_event_ = sim::EventId::invalid();
-  sim::EventId watchdog_event_ = sim::EventId::invalid();
+  sim::TimerId hold_timer_ = sim::TimerId::invalid();
+  sim::TimerId idle_timer_ = sim::TimerId::invalid();
+  sim::TimerId watchdog_timer_ = sim::TimerId::invalid();
   core::SessionId active_session_ = core::SessionId::invalid();
 };
 

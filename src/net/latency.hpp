@@ -1,20 +1,31 @@
 // Pluggable message-latency models for the mailbox delivery subsystem.
 //
 // The paper evaluates DAC_p2p with instantaneous control exchanges; the
-// message-level engine needs a latency regime to be interesting. Three
+// message-level engine needs a latency regime to be interesting. Four
 // models cover the studies the related work runs (VoD reviews and
 // BitTorrent-on-demand peer selection evaluate protocols under both
-// homogeneous and access-technology-split latencies):
-//   * kFixed    — every message takes exactly `fixed` (maximally batchable:
-//                 a whole probe fan-out's responses land on one tick);
-//   * kUniform  — per-message U[min, max] at millisecond granularity (the
-//                 legacy Transport regime; models jitter and reordering);
-//   * kTwoClass — deterministic per-endpoint half-latencies split by the
-//                 paper's bandwidth classes: classes 1..ethernet_class_max
-//                 are "ethernet" peers, the rest "modem" peers, and a
-//                 message costs half(from) + half(to).
+// homogeneous and access-technology-split latencies, and wide-area RTT
+// distributions are famously heavy-tailed):
+//   * kFixed     — every message takes exactly `fixed` (maximally
+//                  batchable: a whole probe fan-out's responses land on one
+//                  tick);
+//   * kUniform   — per-message U[min, max] at millisecond granularity (the
+//                  legacy Transport regime; models jitter and reordering);
+//   * kTwoClass  — deterministic per-endpoint half-latencies split by the
+//                  paper's bandwidth classes: classes 1..ethernet_class_max
+//                  are "ethernet" peers, the rest "modem" peers, and a
+//                  message costs half(from) + half(to);
+//   * kLogNormal — heavy-tail jitter: latency = median * exp(sigma * Z)
+//                  with Z standard normal (Box–Muller over the seeded
+//                  stream), floored at 1 ms (a hop is never free) and
+//                  capped at `tail_cap`. The occasional very slow message
+//                  is what stresses the response-timeout / hold / watchdog
+//                  machinery.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <numbers>
 #include <optional>
 #include <string_view>
 
@@ -25,7 +36,7 @@
 
 namespace p2ps::net {
 
-enum class LatencyModelKind { kFixed, kUniform, kTwoClass };
+enum class LatencyModelKind { kFixed, kUniform, kTwoClass, kLogNormal };
 
 [[nodiscard]] inline std::string_view to_string(LatencyModelKind kind) {
   switch (kind) {
@@ -35,17 +46,21 @@ enum class LatencyModelKind { kFixed, kUniform, kTwoClass };
       return "uniform";
     case LatencyModelKind::kTwoClass:
       return "twoclass";
+    case LatencyModelKind::kLogNormal:
+      return "lognormal";
   }
   P2PS_CHECK_MSG(false, "unreachable latency model kind");
   return "";
 }
 
-/// Parses "fixed" | "uniform" | "twoclass"; nullopt on anything else.
+/// Parses "fixed" | "uniform" | "twoclass" | "lognormal"; nullopt on
+/// anything else.
 [[nodiscard]] inline std::optional<LatencyModelKind> parse_latency_model_kind(
     std::string_view token) {
   if (token == "fixed") return LatencyModelKind::kFixed;
   if (token == "uniform") return LatencyModelKind::kUniform;
   if (token == "twoclass") return LatencyModelKind::kTwoClass;
+  if (token == "lognormal") return LatencyModelKind::kLogNormal;
   return std::nullopt;
 }
 
@@ -65,6 +80,14 @@ struct LatencyModel {
   util::SimTime ethernet_half = util::SimTime::millis(10);
   util::SimTime modem_half = util::SimTime::millis(80);
 
+  /// kLogNormal: median latency and log-scale spread. sigma 0.8 puts the
+  /// 99th percentile at ~6.4x the median — a realistic wide-area tail —
+  /// while tail_cap bounds the pathological draws so a single message
+  /// cannot outlive the protocol timeouts by orders of magnitude.
+  util::SimTime median = util::SimTime::millis(40);
+  double sigma = 0.8;
+  util::SimTime tail_cap = util::SimTime::millis(2000);
+
   /// A model of the given kind with this struct's default parameters.
   [[nodiscard]] static LatencyModel of(LatencyModelKind kind) {
     LatencyModel model;
@@ -79,11 +102,15 @@ struct LatencyModel {
     P2PS_REQUIRE(ethernet_half >= util::SimTime::zero());
     P2PS_REQUIRE(modem_half >= util::SimTime::zero());
     P2PS_REQUIRE(ethernet_class_max >= core::kHighestClass);
+    P2PS_REQUIRE(median > util::SimTime::zero());
+    P2PS_REQUIRE(sigma >= 0.0);
+    P2PS_REQUIRE(tail_cap >= median);
   }
 
-  /// Latency of one message. Only kUniform consumes randomness; the other
-  /// models are deterministic functions of the endpoints, which is what
-  /// makes whole probe fan-outs land on one delivery tick and batch.
+  /// Latency of one message. kUniform consumes one draw and kLogNormal two
+  /// (Box–Muller); the other models are deterministic functions of the
+  /// endpoints, which is what makes whole probe fan-outs land on one
+  /// delivery tick and batch.
   [[nodiscard]] util::SimTime sample(core::PeerClass from_class,
                                      core::PeerClass to_class,
                                      util::Rng& rng) const {
@@ -97,6 +124,20 @@ struct LatencyModel {
       }
       case LatencyModelKind::kTwoClass:
         return half_latency(from_class) + half_latency(to_class);
+      case LatencyModelKind::kLogNormal: {
+        // Box–Muller with u1 in (0, 1]: two uniform draws per message,
+        // always both consumed so the stream position is input-independent.
+        const double u1 = 1.0 - rng.uniform01();
+        const double u2 = rng.uniform01();
+        const double z = std::sqrt(-2.0 * std::log(u1)) *
+                         std::cos(2.0 * std::numbers::pi * u2);
+        const double ms =
+            static_cast<double>(median.as_millis()) * std::exp(sigma * z);
+        const std::int64_t clamped = static_cast<std::int64_t>(std::llround(
+            std::min(ms, static_cast<double>(tail_cap.as_millis()))));
+        return util::SimTime::millis(
+            std::max<std::int64_t>(clamped, 1));  // a hop is never free
+      }
     }
     P2PS_CHECK_MSG(false, "unreachable latency model kind");
     return util::SimTime::zero();

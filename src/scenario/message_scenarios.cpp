@@ -25,18 +25,21 @@ namespace {
 
 using util::SimTime;
 
-/// Shared base: seed/backend/transport-mode plumbing plus the latency
-/// model, defaulting to the paper-mirroring two-class split unless the
-/// caller (or --latency) picks another.
+/// Shared base: seed/backend/transport-mode/timer plumbing plus the
+/// latency model (defaulting to the paper-mirroring two-class split) and
+/// the loss axis (defaulting to each scenario's own drop probability).
 engine::AsyncSimulationConfig message_config(
     const ScenarioOptions& options,
-    net::LatencyModelKind default_latency = net::LatencyModelKind::kTwoClass) {
+    net::LatencyModelKind default_latency = net::LatencyModelKind::kTwoClass,
+    double default_loss = 0.0) {
   engine::AsyncSimulationConfig config;
   config.seed = options.seed;
   config.event_list = options.event_list;
+  config.timers.strategy = options.timers;
   config.transport.mode = options.transport;
   config.transport.latency =
       net::LatencyModel::of(options.latency.value_or(default_latency));
+  config.transport.drop_probability = options.loss.value_or(default_loss);
   return config;
 }
 
@@ -113,6 +116,7 @@ Json msg_fig5_scale(const ScenarioOptions& options) {
 
   Json out = Json::object();
   out.set("latency", latency_label(config));
+  out.set("drop_probability", config.transport.drop_probability);
   {
     engine::AsyncStreamingSystem dac(config);
     const auto result = dac.run();
@@ -132,13 +136,13 @@ Json msg_fig5_scale(const ScenarioOptions& options) {
 // loss — retries, holds and watchdogs all under latency and loss ----
 
 Json msg_flash_crowd(const ScenarioOptions& options) {
-  auto config = message_config(options);
+  auto config = message_config(options, net::LatencyModelKind::kTwoClass,
+                               /*default_loss=*/0.02);
   config.population.seeds = 20;
   config.population.requesters = 20'000;
   config.pattern = workload::ArrivalPattern::kBurstThenConstant;
   config.arrival_window = SimTime::hours(24);
   config.horizon = SimTime::hours(48);
-  config.transport.drop_probability = 0.02;
   workload::apply_population_divisor(config.population, options.scale);
 
   engine::AsyncStreamingSystem system(config);
@@ -168,9 +172,13 @@ Json perf_messages(const ScenarioOptions& options) {
   out.set("population",
           config.population.seeds + config.population.requesters);
   out.set("latency", latency_label(config));
+  out.set("drop_probability", config.transport.drop_probability);
   out.set("transport", std::string(net::to_string(config.transport.mode)));
   out.set("events_executed", result.events_executed);
   out.set("peak_event_list", result.peak_event_list);
+  out.set("peak_event_list_timers", result.peak_event_list_timers);
+  out.set("peak_event_list_other",
+          result.peak_event_list - result.peak_event_list_timers);
   out.set("admissions", result.overall.admissions);
   out.set("rejections", result.overall.rejections);
   out.set("sessions_completed", result.sessions_completed);
@@ -186,6 +194,13 @@ Json perf_messages(const ScenarioOptions& options) {
   messages.set("inboxes_allocated", transport.pool().created());
   messages.set("inboxes_reused", transport.pool().reused());
   out.set("messages", std::move(messages));
+  Json timers = Json::object();
+  // timers_fired is strategy-invariant (same protocol evolution fires the
+  // same timers); timer_events_scheduled is the event traffic the wheel
+  // and lazy strategies exist to remove (stripped by the parity check).
+  timers.set("timers_fired", system.timer_service().fired());
+  timers.set("timer_events_scheduled", system.timer_service().events_scheduled());
+  out.set("timers", std::move(timers));
   return out;
 }
 

@@ -4,16 +4,19 @@
 //   p2ps_run <scenario> [--seed N]       run one scenario, JSON to stdout
 //            [--scale D]                 population divisor (1 = paper scale)
 //            [--event-list heap|calendar] simulator event-list backend
-//            [--latency fixed|uniform|twoclass] message-level latency model
+//            [--timers wheel|lazy|events] timer-subsystem strategy
+//            [--latency fixed|uniform|twoclass|lognormal] latency model
+//            [--loss P]                  message drop probability [0, 1]
 //            [--transport batched|unbatched]    mailbox delivery mode
 //            [--out FILE]                also write the JSON to FILE
 //            [--compact]                 single-line JSON (default: pretty)
 //   p2ps_run --sweep <scenario...>       parameter study: run the cross
 //            [--scenarios a,b]           product of scenarios × seeds ×
-//            [--seeds 1,2] [--scales D,E] scales × backends × latencies on
-//            [--event-lists heap,calendar] a thread pool, merged into one
-//            [--latencies fixed,twoclass] JSON report in deterministic
-//            [--threads N]               point order
+//            [--seeds 1,2] [--scales D,E] scales × backends × latencies ×
+//            [--event-lists heap,calendar] losses on a thread pool, merged
+//            [--latencies fixed,twoclass] into one JSON report in
+//            [--losses 0,0.02] [--threads N] deterministic point order
+//            [--timers wheel|lazy|events] timer strategy for every point
 //
 // Determinism contract: the same (scenario, seed, scale) always emits
 // byte-identical JSON, so diffs against a stored BENCH_*.json are
@@ -35,6 +38,7 @@
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
 #include "sim/event_list.hpp"
+#include "sim/timer_service.hpp"
 #include "util/assert.hpp"
 #include "util/flags.hpp"
 
@@ -59,12 +63,14 @@ int list_scenarios() {
 int usage(const std::string& program) {
   std::cerr << "usage: " << program
             << " <scenario> [--seed N] [--scale D] [--event-list heap|calendar]"
-               " [--latency fixed|uniform|twoclass]"
+               " [--timers wheel|lazy|events]"
+               " [--latency fixed|uniform|twoclass|lognormal] [--loss P]"
                " [--transport batched|unbatched] [--out FILE] [--compact]\n"
             << "       " << program
             << " --sweep <scenario...> [--scenarios a,b] [--seeds N,M]"
                " [--scales D,E] [--event-lists heap,calendar]"
-               " [--latencies fixed,twoclass] [--threads N]"
+               " [--latencies fixed,twoclass] [--losses 0,0.02]"
+               " [--timers wheel|lazy|events] [--threads N]"
                " [--out FILE] [--compact]\n"
             << "       " << program << " --list\n";
   return 2;
@@ -84,11 +90,43 @@ std::optional<p2ps::sim::EventListKind> parse_backend(const std::string& token) 
 std::optional<p2ps::net::LatencyModelKind> parse_latency(const std::string& token) {
   const auto kind = p2ps::net::parse_latency_model_kind(token);
   if (!kind) {
-    std::cerr << "error: latency model must be 'fixed', 'uniform' or"
-                 " 'twoclass', got '"
+    std::cerr << "error: latency model must be 'fixed', 'uniform',"
+                 " 'twoclass' or 'lognormal', got '"
               << token << "'\n";
   }
   return kind;
+}
+
+/// Parses one timer-strategy token or dies with a CLI error message.
+std::optional<p2ps::sim::TimerStrategy> parse_timers(const std::string& token) {
+  const auto strategy = p2ps::sim::parse_timer_strategy(token);
+  if (!strategy) {
+    std::cerr << "error: timer strategy must be 'wheel', 'lazy' or"
+                 " 'events', got '"
+              << token << "'\n";
+  }
+  return strategy;
+}
+
+/// Parses one probability token of --loss/--losses; reports a descriptive
+/// CLI error on junk or out-of-range input.
+std::optional<double> parse_loss(std::string_view flag, const std::string& token) {
+  std::size_t consumed = 0;
+  double out = 0.0;
+  bool ok = !token.empty();
+  if (ok) {
+    try {
+      out = std::stod(token, &consumed);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (!ok || consumed != token.size() || !(out >= 0.0 && out <= 1.0)) {
+    std::cerr << "error: --" << flag
+              << " needs probabilities in [0, 1], got '" << token << "'\n";
+    return std::nullopt;
+  }
+  return out;
 }
 
 /// Parses one non-negative integer token of a CSV axis flag; reports a
@@ -237,6 +275,22 @@ int main(int argc, char** argv) {
           spec.latencies.push_back(*kind);
         }
       }
+      if (const auto losses = flags.value("losses")) {
+        spec.losses.clear();
+        for (const auto& token : p2ps::scenario::split_csv(*losses)) {
+          const auto loss = parse_loss("losses", token);
+          if (!loss) return 2;
+          spec.losses.push_back(*loss);
+        }
+      }
+      // The timer strategy is event-core mechanics (byte-identical output),
+      // so it is a shared setting rather than a sweep axis.
+      const std::string sweep_timers = flags.get_string("timers", "");
+      if (!sweep_timers.empty()) {
+        const auto strategy = parse_timers(sweep_timers);
+        if (!strategy) return 2;
+        spec.timers = *strategy;
+      }
       const auto hardware =
           static_cast<std::int64_t>(std::thread::hardware_concurrency());
       const std::int64_t threads =
@@ -268,12 +322,25 @@ int main(int argc, char** argv) {
       if (!kind) return 2;
       options.event_list = *kind;
 
+      const std::string timers = flags.get_string("timers", "");
+      if (!timers.empty()) {
+        const auto strategy = parse_timers(timers);
+        if (!strategy) return 2;
+        options.timers = *strategy;
+      }
+
       // Message-level knobs; session-level scenarios simply ignore them.
       const std::string latency = flags.get_string("latency", "");
       if (!latency.empty()) {
         const auto model = parse_latency(latency);
         if (!model) return 2;
         options.latency = *model;
+      }
+      const std::string loss = flags.get_string("loss", "");
+      if (!loss.empty()) {
+        const auto value = parse_loss("loss", loss);
+        if (!value) return 2;
+        options.loss = *value;
       }
       const std::string transport = flags.get_string("transport", "batched");
       const auto mode = p2ps::net::parse_transport_mode(transport);

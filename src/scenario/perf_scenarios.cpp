@@ -23,6 +23,9 @@ Json perf_payload(const engine::SimulationConfig& config,
           config.population.seeds + config.population.requesters);
   out.set("events_executed", result.events_executed);
   out.set("peak_event_list", result.peak_event_list);
+  out.set("peak_event_list_timers", result.peak_event_list_timers);
+  out.set("peak_event_list_other",
+          result.peak_event_list - result.peak_event_list_timers);
   out.set("sessions_completed", result.sessions_completed);
   out.set("admissions", result.overall.admissions);
   out.set("rejections", result.overall.rejections);

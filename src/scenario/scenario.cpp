@@ -1,6 +1,8 @@
 #include "scenario/scenario.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <string_view>
 
 #include "metrics/collector.hpp"
 #include "util/assert.hpp"
@@ -70,6 +72,7 @@ engine::SimulationConfig paper_config(const ScenarioOptions& options,
   auto config = engine::section51_config(pattern, differentiated, options.seed,
                                          options.scale);
   config.event_list = options.event_list;
+  config.timers.strategy = options.timers;
   return config;
 }
 
@@ -77,6 +80,7 @@ void scale_population(const ScenarioOptions& options, engine::SimulationConfig& 
   config.seed = options.seed;
   config.validate_invariants = false;
   config.event_list = options.event_list;
+  config.timers.strategy = options.timers;
   workload::apply_population_divisor(config.population, options.scale);
 }
 
@@ -101,6 +105,55 @@ Json class_counters_to_json(const metrics::ClassCounters& counters) {
 
 }  // namespace
 
+std::string strip_event_mechanics(std::string json_text) {
+  // Zero the integer value after every `"<key>":` occurrence of the
+  // event-core mechanics counters. Key order: longer keys first, so
+  // "peak_event_list" never matches inside its suffixed variants.
+  static constexpr std::string_view kKeys[] = {
+      "\"peak_event_list_timers\":",
+      "\"peak_event_list_other\":",
+      "\"peak_event_list\":",
+      "\"events_executed\":",
+      "\"timer_events_scheduled\":",
+  };
+  std::string out;
+  out.reserve(json_text.size());
+  std::size_t pos = 0;
+  while (pos < json_text.size()) {
+    std::size_t best = std::string::npos;
+    std::size_t best_len = 0;
+    for (const std::string_view key : kKeys) {
+      const std::size_t at = json_text.find(key, pos);
+      if (at < best) {
+        best = at;
+        best_len = key.size();
+      }
+    }
+    if (best == std::string::npos) {
+      out.append(json_text, pos, std::string::npos);
+      break;
+    }
+    out.append(json_text, pos, best + best_len - pos);
+    pos = best + best_len;
+    // Tolerate pretty-printed input: swallow any whitespace between the
+    // colon and the value along with the digits, normalizing to ":0".
+    while (pos < json_text.size() &&
+           (json_text[pos] == ' ' || json_text[pos] == '\t' ||
+            json_text[pos] == '\n')) {
+      ++pos;
+    }
+    std::size_t digits = 0;
+    while (pos < json_text.size() &&
+           std::isdigit(static_cast<unsigned char>(json_text[pos]))) {
+      ++pos;
+      ++digits;
+    }
+    // Only replace an actual integer value; anything else passes through.
+    out.append(digits > 0 ? "0" : "");
+  }
+  return out;
+}
+
 Json result_to_json(const engine::SimulationResult& result, int series_step_hours) {
   Json out = Json::object();
   out.set("final_capacity", result.final_capacity);
@@ -110,6 +163,12 @@ Json result_to_json(const engine::SimulationResult& result, int series_step_hour
   out.set("suppliers_departed", result.suppliers_departed);
   out.set("events_executed", result.events_executed);
   out.set("peak_event_list", result.peak_event_list);
+  // The timer vs non-timer split of the pending population at the peak
+  // instant (they sum to peak_event_list): the timer share is what the
+  // wheel/lazy strategies collapse.
+  out.set("peak_event_list_timers", result.peak_event_list_timers);
+  out.set("peak_event_list_other",
+          result.peak_event_list - result.peak_event_list_timers);
   out.set("overall", class_counters_to_json(result.overall));
   Json per_class = Json::array();
   for (const auto& counters : result.totals) {

@@ -33,11 +33,21 @@ struct ScenarioOptions {
   /// envelope: both backends must produce byte-identical JSON, and keeping
   /// the field out lets tests/ci assert that by comparing whole documents.
   sim::EventListKind event_list = sim::EventListKind::kBinaryHeap;
+  /// Timer-subsystem strategy for every engine's TimerService. Also absent
+  /// from the envelope: the strategies must produce byte-identical
+  /// payloads up to the event-core mechanics counters (events_executed and
+  /// the peak_event_list* split — the counters the strategies exist to
+  /// change; see docs/timers.md and strip_event_mechanics()).
+  sim::TimerStrategy timers = sim::TimerConfig{}.strategy;
   /// Latency model for message-level (msg_* / perf_messages) scenarios;
   /// unset = each scenario's own default. Echoed inside those scenarios'
   /// payloads (it is a real workload parameter), ignored by session-level
   /// scenarios.
   std::optional<net::LatencyModelKind> latency;
+  /// Message drop probability for message-level scenarios; unset = each
+  /// scenario's own default (msg_flash_crowd injects 2%). Echoed in those
+  /// payloads as drop_probability, ignored by session-level scenarios.
+  std::optional<double> loss;
   /// Mailbox delivery mode for message-level scenarios. Like the event
   /// list, deliberately byte-invisible: batched and unbatched runs must
   /// emit identical JSON (docs/message_batching.md), and keeping the field
@@ -105,6 +115,14 @@ void scale_population(const ScenarioOptions& options, engine::SimulationConfig& 
 [[nodiscard]] inline Json opt_json(const std::optional<double>& value) {
   return value ? Json(*value) : Json();
 }
+
+/// Zeroes the event-core mechanics counters in a serialized payload —
+/// events_executed and the peak_event_list/timer split. These are the only
+/// fields the `--timers` strategies may change (the non-timer event
+/// trajectory is strategy-invariant by construction, docs/timers.md), so
+/// two runs differing only in timer strategy must compare equal after this
+/// normalization. Shared by the parity test and scripts/ci.sh's sed.
+[[nodiscard]] std::string strip_event_mechanics(std::string json_text);
 
 // Registration entry points, one per implementation file.
 void register_figure_scenarios(Registry& registry);

@@ -30,6 +30,11 @@ std::vector<SweepPoint> SweepSpec::points() const {
   P2PS_REQUIRE_MSG(!scales.empty(), "sweep needs at least one scale");
   P2PS_REQUIRE_MSG(!event_lists.empty(), "sweep needs at least one event list");
   P2PS_REQUIRE_MSG(!latencies.empty(), "sweep needs at least one latency model");
+  P2PS_REQUIRE_MSG(!losses.empty(), "sweep needs at least one loss value");
+  for (const auto& loss : losses) {
+    P2PS_REQUIRE_MSG(!loss || (*loss >= 0.0 && *loss <= 1.0),
+                     "sweep losses must be probabilities in [0, 1]");
+  }
   register_all_scenarios();
   for (const auto& name : scenarios) {
     P2PS_REQUIRE_MSG(Registry::instance().find(name) != nullptr,
@@ -41,13 +46,16 @@ std::vector<SweepPoint> SweepSpec::points() const {
   }
   std::vector<SweepPoint> out;
   out.reserve(scenarios.size() * seeds.size() * scales.size() *
-              event_lists.size() * latencies.size());
+              event_lists.size() * latencies.size() * losses.size());
   for (const auto& name : scenarios) {
     for (const std::uint64_t seed : seeds) {
       for (const std::int64_t scale : scales) {
         for (const sim::EventListKind kind : event_lists) {
           for (const auto& latency : latencies) {
-            out.push_back(SweepPoint{name, seed, scale, kind, latency});
+            for (const auto& loss : losses) {
+              out.push_back(
+                  SweepPoint{name, seed, scale, kind, latency, loss, timers});
+            }
           }
         }
       }
@@ -83,6 +91,8 @@ Json run_sweep_points(const std::vector<SweepPoint>& points, int threads) {
         options.scale = point.scale;
         options.event_list = point.event_list;
         options.latency = point.latency;
+        options.loss = point.loss;
+        options.timers = point.timers;
         runs[index] = run_scenario(point.scenario, options);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(failure_mutex);
@@ -126,6 +136,8 @@ Json run_sweep_points(const std::vector<SweepPoint>& points, int threads) {
               points[index].latency
                   ? std::string(net::to_string(*points[index].latency))
                   : std::string("default"));
+    entry.set("loss", points[index].loss ? Json(*points[index].loss)
+                                         : Json("default"));
     entry.set("run", std::move(runs[index]));
     merged.push_back(std::move(entry));
   }

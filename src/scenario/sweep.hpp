@@ -21,6 +21,7 @@
 #include "net/latency.hpp"
 #include "scenario/json.hpp"
 #include "sim/event_list.hpp"
+#include "sim/timer_service.hpp"
 
 namespace p2ps::scenario {
 
@@ -33,19 +34,30 @@ struct SweepPoint {
   /// Latency model for message-level scenarios; nullopt = the scenario's
   /// own default (session-level scenarios ignore the axis entirely).
   std::optional<net::LatencyModelKind> latency;
+  /// Message drop probability for message-level scenarios; nullopt = the
+  /// scenario's own default. The loss x latency studies of the ROADMAP's
+  /// "loss × reordering" item sweep this axis against `latencies`.
+  std::optional<double> loss;
+  /// Timer-subsystem strategy. Not an axis (it is byte-invisible
+  /// mechanics, docs/timers.md) — a single shared setting for every point.
+  sim::TimerStrategy timers = sim::TimerConfig{}.strategy;
 };
 
 /// A sweep specification: the cross product of its axes, in deterministic
-/// order (scenario-major, then seed, scale, backend, latency).
+/// order (scenario-major, then seed, scale, backend, latency, loss).
 struct SweepSpec {
   std::vector<std::string> scenarios;
   std::vector<std::uint64_t> seeds = {2002};
   std::vector<std::int64_t> scales = {1};
   std::vector<sim::EventListKind> event_lists = {sim::EventListKind::kBinaryHeap};
   std::vector<std::optional<net::LatencyModelKind>> latencies = {std::nullopt};
+  std::vector<std::optional<double>> losses = {std::nullopt};
+  /// Shared (non-axis) timer strategy applied to every point.
+  sim::TimerStrategy timers = sim::TimerConfig{}.strategy;
 
   /// Expands the cross product; throws ContractViolation when any axis is
-  /// empty or a scenario name is unknown (fail fast, before any run).
+  /// empty, a scenario name is unknown, or a loss value is outside [0, 1]
+  /// (fail fast, before any run).
   [[nodiscard]] std::vector<SweepPoint> points() const;
 };
 

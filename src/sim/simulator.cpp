@@ -25,17 +25,30 @@ void Simulator::release_slot(std::uint32_t index) {
   free_head_ = index;
 }
 
-EventId Simulator::schedule_at(util::SimTime t, Callback cb) {
+EventId Simulator::schedule_impl(util::SimTime t, Callback cb, bool timer) {
   P2PS_REQUIRE_MSG(t >= now_, "cannot schedule an event in the past");
   P2PS_REQUIRE(cb != nullptr);
   const std::uint32_t index = acquire_slot();
   Slot& slot = slots_[index];
   slot.cb = std::move(cb);
+  slot.timer = timer;
   const EventId id = pack(index, slot.generation);
   queue_->push(CalendarEntry{t, next_seq_++, id.value()});
   ++live_;
-  if (live_ > peak_live_) peak_live_ = live_;
+  if (timer) ++live_timers_;
+  if (live_ > peak_live_) {
+    peak_live_ = live_;
+    peak_live_timers_ = live_timers_;
+  }
   return id;
+}
+
+EventId Simulator::schedule_at(util::SimTime t, Callback cb) {
+  return schedule_impl(t, std::move(cb), /*timer=*/false);
+}
+
+EventId Simulator::schedule_timer_at(util::SimTime t, Callback cb) {
+  return schedule_impl(t, std::move(cb), /*timer=*/true);
 }
 
 EventId Simulator::schedule_after(util::SimTime delay, Callback cb) {
@@ -49,6 +62,7 @@ bool Simulator::cancel(EventId id) {
   Slot& slot = slots_[index];
   if (slot.generation != generation_of(id) || !slot.cb) return false;
   slot.cb.reset();
+  if (slot.timer) --live_timers_;
   release_slot(index);  // queue residue is skipped lazily by pop_live()
   --live_;
   return true;
@@ -78,6 +92,7 @@ void Simulator::execute(const CalendarEntry& entry) {
   now_ = entry.time;
   ++executed_;
   --live_;
+  if (slots_[index].timer) --live_timers_;
   // Move the callback out and release the slot before invoking: the
   // callback may freely schedule (reusing this slot) or cancel events.
   Callback cb = std::move(slots_[index].cb);
@@ -125,6 +140,7 @@ void Simulator::clear() {
     }
   }
   live_ = 0;
+  live_timers_ = 0;
   queue_->clear();
 }
 

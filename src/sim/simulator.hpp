@@ -58,6 +58,12 @@ class Simulator {
   /// Schedules `cb` after `delay` (must be non-negative).
   EventId schedule_after(util::SimTime delay, Callback cb);
 
+  /// schedule_at for events owned by the timer subsystem (TimerService
+  /// dedicated events, wheel notifications, lazy sweep ticks). Identical
+  /// semantics; the tag only feeds the timer/non-timer split of the
+  /// pending-event accounting below.
+  EventId schedule_timer_at(util::SimTime t, Callback cb);
+
   /// Cancels a pending event. Returns true if the event was still pending.
   /// Safe to call with already-fired, already-cancelled or pre-clear() ids.
   bool cancel(EventId id);
@@ -72,6 +78,14 @@ class Simulator {
   /// (not reset by clear()). The headline lazy-arrival metric: the eager
   /// arrival build made this ~population-sized at t=0.
   [[nodiscard]] std::size_t peak_pending_count() const { return peak_live_; }
+
+  /// How many of the events pending at the peak_pending_count() instant
+  /// were timer-tagged (schedule_timer_at) — the timer vs non-timer split
+  /// of the peak. This share is what the wheel/lazy timer strategies
+  /// collapse.
+  [[nodiscard]] std::size_t peak_pending_timers() const {
+    return peak_live_timers_;
+  }
 
   /// Executes the next event, if any. Returns false when the queue is empty.
   bool step();
@@ -99,6 +113,7 @@ class Simulator {
     Callback cb;                     // engaged iff the slot holds a pending event
     std::uint32_t generation = 0;    // bumped on every release
     std::uint32_t next_free = kNoSlot;
+    bool timer = false;              // scheduled via schedule_timer_at
   };
 
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
@@ -123,11 +138,15 @@ class Simulator {
   /// Fires `entry`, whose slot has already been verified live.
   void execute(const CalendarEntry& entry);
 
+  EventId schedule_impl(util::SimTime t, Callback cb, bool timer);
+
   util::SimTime now_ = util::SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
+  std::size_t live_timers_ = 0;
   std::size_t peak_live_ = 0;
+  std::size_t peak_live_timers_ = 0;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
   std::unique_ptr<EventList> queue_;

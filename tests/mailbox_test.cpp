@@ -3,6 +3,7 @@
 // pooling, and the peak-event-list contract at message-level scale.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <tuple>
@@ -110,6 +111,39 @@ TEST(MailboxRouter, TwoClassLatencyIsDeterministicPerEndpointPair) {
   router.send(PeerId{3}, PeerId{3}, 0);  // modem -> modem: 80 + 80
   simulator.run();
   EXPECT_EQ(times, (std::vector<std::int64_t>{20, 90, 160}));
+}
+
+TEST(LatencyModel, LognormalIsHeavyTailedDeterministicAndBounded) {
+  LatencyModel model = LatencyModel::of(LatencyModelKind::kLogNormal);
+  model.validate();
+  util::Rng rng(7);
+  std::vector<std::int64_t> draws;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto latency = model.sample(1, 1, rng);
+    EXPECT_GE(latency.as_millis(), 1);
+    EXPECT_LE(latency, model.tail_cap);
+    draws.push_back(latency.as_millis());
+  }
+  // Same seed, same stream: byte-reproducible.
+  util::Rng rng_again(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample(1, 1, rng_again).as_millis(), draws[static_cast<std::size_t>(i)]);
+  }
+  std::sort(draws.begin(), draws.end());
+  const std::int64_t p50 = draws[draws.size() / 2];
+  const std::int64_t p99 = draws[draws.size() * 99 / 100];
+  // Median lands near the configured 40 ms; the tail is heavy (p99 is
+  // several times the median — lognormal sigma 0.8 puts it at ~6.4x).
+  EXPECT_NEAR(static_cast<double>(p50), 40.0, 4.0);
+  EXPECT_GE(p99, 4 * p50);
+}
+
+TEST(LatencyModel, LognormalParsesAndValidates) {
+  EXPECT_EQ(parse_latency_model_kind("lognormal"), LatencyModelKind::kLogNormal);
+  EXPECT_EQ(to_string(LatencyModelKind::kLogNormal), "lognormal");
+  LatencyModel bad = LatencyModel::of(LatencyModelKind::kLogNormal);
+  bad.tail_cap = util::SimTime::millis(1);  // cap below the median
+  EXPECT_THROW(bad.validate(), util::ContractViolation);
 }
 
 TEST(MailboxRouter, DropProbabilityOneLosesEverything) {

@@ -105,6 +105,7 @@ TEST(Transport, ZeroLatencyDeliversAtSameInstant) {
 
 struct AsyncWorld {
   sim::Simulator simulator;
+  sim::TimerService timers{simulator};
   MessageTransport transport;
   std::vector<std::unique_ptr<SupplierEndpoint>> suppliers;
 
@@ -117,7 +118,7 @@ struct AsyncWorld {
     config.num_classes = 4;
     config.differentiated = differentiated;
     suppliers.push_back(std::make_unique<SupplierEndpoint>(
-        PeerId{id}, cls, config, simulator, transport, util::Rng(100 + id)));
+        PeerId{id}, cls, config, timers, transport, util::Rng(100 + id)));
     return *suppliers.back();
   }
 

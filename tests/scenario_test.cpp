@@ -195,6 +195,49 @@ TEST(RunScenario, EveryScenarioIsByteIdenticalAcrossEventListBackends) {
   EXPECT_GE(checked, 19u);  // 17 pre-existing + the perf family
 }
 
+// The TimerService acceptance criterion: every registered scenario must
+// emit byte-identical JSON under all three --timers strategies once the
+// event-core mechanics counters (the fields the strategies exist to
+// change) are normalized away by strip_event_mechanics. docs/timers.md
+// carries the ordering argument for why nothing else can differ.
+TEST(RunScenario, EveryScenarioIsByteIdenticalAcrossTimerStrategies) {
+  register_all_scenarios();
+  ScenarioOptions base;
+  base.seed = 2002;
+  base.scale = 100;  // keep the populations small and fast
+  std::size_t checked = 0;
+  for (const auto* scenario : Registry::instance().list()) {
+    std::string reference;
+    for (const sim::TimerStrategy strategy :
+         {sim::TimerStrategy::kEvents, sim::TimerStrategy::kWheel,
+          sim::TimerStrategy::kLazy}) {
+      ScenarioOptions options = base;
+      options.timers = strategy;
+      const std::string run =
+          strip_event_mechanics(run_scenario(scenario->name, options).dump());
+      if (reference.empty()) {
+        reference = run;
+      } else {
+        EXPECT_EQ(reference, run)
+            << scenario->name << " under " << to_string(strategy);
+      }
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 22u);
+}
+
+TEST(StripEventMechanics, ZeroesExactlyTheMechanicsCounters) {
+  const std::string text =
+      "{\"events_executed\":123,\"peak_event_list\":45,"
+      "\"peak_event_list_timers\":40,\"peak_event_list_other\":5,"
+      "\"timer_events_scheduled\":99,\"admissions\":7}";
+  EXPECT_EQ(strip_event_mechanics(text),
+            "{\"events_executed\":0,\"peak_event_list\":0,"
+            "\"peak_event_list_timers\":0,\"peak_event_list_other\":0,"
+            "\"timer_events_scheduled\":0,\"admissions\":7}");
+}
+
 TEST(RunScenario, DifferentSeedsChangeSimulationOutput) {
   ScenarioOptions a;
   a.seed = 1;

@@ -162,6 +162,64 @@ TEST(RunSweep, LatencyAxisIsEchoedAndChangesMessageLevelRuns) {
   EXPECT_NE(default_text.find("\"latency\":\"default\""), std::string::npos);
 }
 
+TEST(SweepSpec, LossAxisIsValidatedAndInnermost) {
+  SweepSpec spec;
+  spec.scenarios = {"msg_flash_crowd"};
+  spec.seeds = {1};
+  spec.scales = {400};
+  spec.latencies = {net::LatencyModelKind::kFixed};
+  spec.losses = {0.0, 0.5};
+  const auto points = spec.points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].loss, 0.0);
+  EXPECT_EQ(points[1].loss, 0.5);
+
+  SweepSpec empty = spec;
+  empty.losses.clear();
+  EXPECT_THROW((void)empty.points(), util::ContractViolation);
+
+  SweepSpec out_of_range = spec;
+  out_of_range.losses = {1.5};
+  EXPECT_THROW((void)out_of_range.points(), util::ContractViolation);
+
+  SweepSpec negative = spec;
+  negative.losses = {-0.1};
+  EXPECT_THROW((void)negative.points(), util::ContractViolation);
+}
+
+TEST(RunSweep, LossAxisIsEchoedAndChangesMessageLevelRuns) {
+  SweepSpec spec;
+  spec.scenarios = {"msg_flash_crowd"};
+  spec.seeds = {1};
+  spec.scales = {400};
+  spec.losses = {0.0, 0.5};
+  const auto report = run_sweep(spec, 2);
+  const std::string text = report.dump();
+  EXPECT_NE(text.find("\"loss\":0"), std::string::npos);
+  EXPECT_NE(text.find("\"loss\":0.5"), std::string::npos);
+  // Heavy loss must change the run itself, not just the echo.
+  EXPECT_NE(text.find("\"drop_probability\":0.5"), std::string::npos);
+
+  SweepSpec defaulted = spec;
+  defaulted.losses = {std::nullopt};
+  const std::string default_text = run_sweep(defaulted, 1).dump();
+  EXPECT_NE(default_text.find("\"loss\":\"default\""), std::string::npos);
+  // msg_flash_crowd's own default loss is 2%.
+  EXPECT_NE(default_text.find("\"drop_probability\":0.02"), std::string::npos);
+}
+
+TEST(RunSweep, LognormalLatencyRunsAndIsEchoed) {
+  SweepSpec spec;
+  spec.scenarios = {"msg_flash_crowd"};
+  spec.seeds = {1};
+  spec.scales = {400};
+  spec.latencies = {net::LatencyModelKind::kLogNormal};
+  const auto report = run_sweep(spec, 1);
+  const std::string text = report.dump();
+  EXPECT_NE(text.find("\"latency\":\"lognormal\""), std::string::npos);
+  EXPECT_NE(text.find("\"delivered\":"), std::string::npos);
+}
+
 TEST(RunSweep, MoreThreadsThanPointsIsFine) {
   SweepSpec spec;
   spec.scenarios = {"flash_crowd"};
