@@ -21,7 +21,7 @@ int main() {
 
   auto greedy_config = paper_config(ArrivalPattern::kRampUpDown, true);
   auto wide_config = greedy_config;
-  wide_config.selection_policy = p2ps::engine::SelectionPolicy::kMaxCardinality;
+  wide_config.selection_policy = &p2ps::core::max_cardinality_policy();
 
   const auto greedy = p2ps::engine::StreamingSystem(greedy_config).run();
   const auto wide = p2ps::engine::StreamingSystem(wide_config).run();

@@ -197,6 +197,41 @@ for bad_loss in warp 1.5 0.5x; do
   fi
 done
 
+# Policy smoke: the supplier-selection strategy layer. --policy/--policies
+# must reject junk tokens with a CLI error, a non-default policy must run
+# cleanly, and a --policies sweep must keep the thread-count byte-parity
+# contract (randomized policies draw from their own named substream, so the
+# pool cannot perturb them).
+echo "==> policy smoke: --policy validation + {paper-dac,first-fit} sweep"
+if "${runner}" flash_crowd --policy bogus --scale "${scale}" \
+    --compact > /dev/null 2>&1; then
+  echo "FAIL: --policy accepted an unknown policy token" >&2
+  exit 1
+fi
+if "${runner}" --sweep flash_crowd --policies bogus --scales "${scale}" \
+    --compact > /dev/null 2>&1; then
+  echo "FAIL: --policies accepted an unknown policy token" >&2
+  exit 1
+fi
+"${runner}" flash_crowd --seed "${seed}" --scale "${scale}" --compact \
+    --policy reciprocity > "${smoke_dir}/policy.reciprocity.json"
+grep -q '"scenario":"flash_crowd"' "${smoke_dir}/policy.reciprocity.json" || {
+  echo "FAIL: --policy reciprocity run produced no envelope" >&2
+  exit 1
+}
+"${runner}" --sweep flash_crowd --policies paper-dac,first-fit \
+    --scales "${scale}" --threads 2 --compact > "${smoke_dir}/policy.2t.json"
+"${runner}" --sweep flash_crowd --policies paper-dac,first-fit \
+    --scales "${scale}" --threads 1 --compact > "${smoke_dir}/policy.1t.json"
+cmp "${smoke_dir}/policy.2t.json" "${smoke_dir}/policy.1t.json" || {
+  echo "FAIL: policy sweep differs between --threads 2 and --threads 1" >&2
+  exit 1
+}
+grep -q '"policy":"first-fit"' "${smoke_dir}/policy.2t.json" || {
+  echo "FAIL: policy sweep report does not echo the policy axis" >&2
+  exit 1
+}
+
 echo "==> OK: build, tests, ${count}-scenario smoke pass, perf smoke," \
-     "message smoke, sweep smoke, latency-axis smoke, timer smoke and" \
-     "loss-axis smoke all green"
+     "message smoke, sweep smoke, latency-axis smoke, timer smoke," \
+     "loss-axis smoke and policy smoke all green"

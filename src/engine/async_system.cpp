@@ -25,10 +25,13 @@ AsyncStreamingSystem::AsyncStreamingSystem(AsyncSimulationConfig config)
   P2PS_REQUIRE_MSG(config_.hold_timeout > config_.response_timeout,
                    "holds must outlive the requester's response timeout, or "
                    "commits would race their own expiry");
+  P2PS_REQUIRE_MSG(config_.selection_policy != nullptr,
+                   "AsyncSimulationConfig.selection_policy must not be null");
 
   util::Rng master(config_.seed);
   lookup_rng_ = master.substream("lookup");
   endpoint_seed_rng_ = master.substream("endpoint-seeds");
+  selection_rng_ = master.substream("selection");
   util::Rng population_rng = master.substream("population");
 
   const auto requester_classes =
@@ -110,6 +113,9 @@ void AsyncStreamingSystem::start_attempt(core::PeerId id) {
   attempt_config.response_timeout = config_.response_timeout;
   attempt_config.reminders_enabled =
       config_.protocol.differentiated && config_.protocol.reminders_enabled;
+  attempt_config.policy = config_.selection_policy;
+  attempt_config.selection_rng = &selection_rng_;
+  attempt_config.selection_scratch = &scratch_selection_;
 
   const core::SessionId session{next_session_++};
   auto attempt = std::make_unique<net::AsyncAdmissionAttempt>(
@@ -224,6 +230,9 @@ SimulationResult AsyncStreamingSystem::run() {
   result.suppliers_at_end = suppliers_;
   result.sessions_completed = sessions_completed_;
   result.sessions_active_at_end = sessions_active_;
+  for (const Peer& p : peers_) {
+    if (p.endpoint) result.watchdog_recoveries += p.endpoint->watchdog_recoveries();
+  }
   result.events_executed = simulator_.executed_count();
   result.peak_event_list =
       static_cast<std::int64_t>(simulator_.peak_pending_count());

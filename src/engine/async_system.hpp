@@ -66,6 +66,9 @@ struct AsyncSimulationConfig {
 
   std::uint64_t seed = 42;
   util::SimTime sample_interval = util::SimTime::hours(1);
+
+  /// Supplier-selection policy (core registry pointer; never null).
+  const core::SelectionPolicy* selection_policy = &core::paper_dac_policy();
 };
 
 class AsyncStreamingSystem {
@@ -118,6 +121,8 @@ class AsyncStreamingSystem {
 
   util::Rng lookup_rng_{0};
   util::Rng endpoint_seed_rng_{0};
+  /// Substream for randomized selection policies (unused by paper-dac).
+  util::Rng selection_rng_{0};
 
   std::vector<Peer> peers_;
   /// In-flight admission attempts, dense by peer index (one per requester
@@ -133,6 +138,9 @@ class AsyncStreamingSystem {
   /// population (the session-level engine's RetrySource trick).
   RetrySource retries_;
   std::uint64_t next_session_ = 0;
+  /// Shared selection buffer handed to every attempt (conclude() never
+  /// re-enters, so one buffer serves all in-flight attempts).
+  core::SelectionResult scratch_selection_;
   core::Bandwidth supplier_bandwidth_ = core::Bandwidth::zero();
   std::int64_t suppliers_ = 0;
   std::int64_t sessions_completed_ = 0;

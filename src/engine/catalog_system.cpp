@@ -4,6 +4,7 @@
 
 #include "core/ots.hpp"
 #include "core/selection.hpp"
+#include "core/selection_policy.hpp"
 #include "engine/arrival_source.hpp"
 #include "util/assert.hpp"
 #include "workload/arrival_pattern.hpp"
@@ -24,6 +25,8 @@ CatalogStreamingSystem::CatalogStreamingSystem(CatalogConfig config)
   P2PS_REQUIRE(config_.arrival_window > util::SimTime::zero());
   P2PS_REQUIRE(config_.horizon >= config_.arrival_window);
   P2PS_REQUIRE(config_.session_duration > util::SimTime::zero());
+  P2PS_REQUIRE_MSG(config_.selection_policy != nullptr,
+                   "CatalogConfig.selection_policy must not be null");
 
   directories_.resize(static_cast<std::size_t>(config_.files));
   file_bandwidth_.assign(static_cast<std::size_t>(config_.files),
@@ -34,6 +37,7 @@ CatalogStreamingSystem::CatalogStreamingSystem(CatalogConfig config)
 
   util::Rng master(config_.seed);
   lookup_rng_ = master.substream("lookup");
+  selection_rng_ = master.substream("selection");
   util::Rng population_rng = master.substream("population");
   util::Rng file_rng = master.substream("files");
 
@@ -129,13 +133,18 @@ void CatalogStreamingSystem::attempt_admission(core::PeerId id) {
   Peer& p = peer(id);
   metrics_.on_attempt(p.cls);
   auto& directory = directories_[static_cast<std::size_t>(p.file)];
-  const auto candidates =
-      directory.candidates(config_.protocol.m_candidates, lookup_rng_, p.id);
+  std::vector<lookup::CandidateInfo>& candidates = scratch_candidates_;
+  directory.candidates_into(candidates, config_.protocol.m_candidates, lookup_rng_,
+                            p.id);
 
-  std::vector<lookup::CandidateInfo> granted;
-  std::vector<core::PeerClass> granted_classes;
-  std::vector<core::BusyCandidate> busy;
-  std::vector<core::PeerId> busy_ids;
+  std::vector<lookup::CandidateInfo>& granted = scratch_granted_;
+  std::vector<core::PeerClass>& granted_classes = scratch_granted_classes_;
+  std::vector<core::BusyCandidate>& busy = scratch_busy_;
+  std::vector<core::PeerId>& busy_ids = scratch_busy_ids_;
+  granted.clear();
+  granted_classes.clear();
+  busy.clear();
+  busy_ids.clear();
   for (const auto& candidate : candidates) {
     Peer& s = peer(candidate.id);
     const core::ProbeOutcome outcome = s.supplier->handle_probe(p.cls, s.grant_rng);
@@ -154,12 +163,20 @@ void CatalogStreamingSystem::attempt_admission(core::PeerId id) {
     }
   }
 
-  const core::SelectionResult selection = core::select_exact_cover(granted_classes);
+  core::SelectionResult& selection = scratch_selection_;
+  core::SelectionContext selection_context;
+  selection_context.requester_class = p.cls;
+  selection_context.rng = &selection_rng_;
+  config_.selection_policy->select_into(selection, granted_classes,
+                                        core::Bandwidth::playback_rate(),
+                                        selection_context);
   if (selection.success()) {
     ActiveSession session;
     session.id = core::SessionId{next_session_++};
     session.requester = p.id;
-    std::vector<core::PeerClass> session_classes;
+    std::vector<core::PeerClass>& session_classes = scratch_session_classes_;
+    session_classes.clear();
+    session.suppliers.reserve(selection.chosen.size());
     for (std::size_t pick : selection.chosen) {
       Peer& s = peer(granted[pick].id);
       disarm_idle_timer(s);

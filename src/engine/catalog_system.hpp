@@ -20,6 +20,7 @@
 #include "core/admission/supplier.hpp"
 #include "core/bandwidth.hpp"
 #include "core/ids.hpp"
+#include "core/selection.hpp"
 #include "engine/config.hpp"
 #include "engine/result.hpp"
 #include "lookup/directory.hpp"
@@ -47,6 +48,9 @@ struct CatalogConfig {
   std::uint64_t seed = 42;
   util::SimTime sample_interval = util::SimTime::hours(1);
   bool validate_invariants = true;
+
+  /// Supplier-selection policy (core registry pointer; never null).
+  const core::SelectionPolicy* selection_policy = &core::paper_dac_policy();
 
   /// Timer strategy for the per-peer idle elevation timers (pure
   /// mechanics; byte-identical output across strategies, docs/timers.md).
@@ -120,6 +124,8 @@ class CatalogStreamingSystem {
   workload::ZipfDistribution popularity_;
 
   util::Rng lookup_rng_{0};
+  /// Substream for randomized selection policies (unused by paper-dac).
+  util::Rng selection_rng_{0};
 
   std::vector<Peer> peers_;
   std::unordered_map<core::SessionId, ActiveSession> sessions_;
@@ -132,6 +138,18 @@ class CatalogStreamingSystem {
   std::int64_t suppliers_ = 0;
   std::int64_t sessions_completed_ = 0;
   bool ran_ = false;
+
+  // Reused attempt_admission scratch (the _into discipline the other
+  // engines follow): admission attempts repeat per backoff retry, so the
+  // steady state must not allocate. Safe because attempt_admission never
+  // re-enters — retries and sessions are scheduled events.
+  std::vector<lookup::CandidateInfo> scratch_candidates_;
+  std::vector<lookup::CandidateInfo> scratch_granted_;
+  std::vector<core::PeerClass> scratch_granted_classes_;
+  std::vector<core::BusyCandidate> scratch_busy_;
+  std::vector<core::PeerId> scratch_busy_ids_;
+  std::vector<core::PeerClass> scratch_session_classes_;
+  core::SelectionResult scratch_selection_;
 };
 
 }  // namespace p2ps::engine

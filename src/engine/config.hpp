@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "core/peer_class.hpp"
+#include "core/selection_policy.hpp"
 #include "sim/event_list.hpp"
 #include "sim/timer_service.hpp"
 #include "util/sim_time.hpp"
@@ -12,15 +13,6 @@
 #include "workload/population.hpp"
 
 namespace p2ps::engine {
-
-/// How a requester picks session suppliers among its granted candidates.
-enum class SelectionPolicy {
-  /// Largest offer first (the paper's implied choice; minimizes supplier
-  /// count and hence Theorem-1 buffering delay).
-  kGreedyHighestFirst,
-  /// Ablation: smallest offers first (maximizes supplier count).
-  kMaxCardinality,
-};
 
 /// Which lookup substrate serves candidate queries (paper footnote 4).
 enum class LookupKind { kDirectory, kChord };
@@ -76,7 +68,10 @@ struct SimulationConfig {
   /// admission priority.
   double defection_probability = 0.0;
 
-  SelectionPolicy selection_policy = SelectionPolicy::kGreedyHighestFirst;
+  /// How a requester picks session suppliers among its granted candidates.
+  /// Points into the core::SelectionPolicy registry; never null. The
+  /// default is the paper's DAC_p2p largest-offer-first exact cover.
+  const core::SelectionPolicy* selection_policy = &core::paper_dac_policy();
   LookupKind lookup = LookupKind::kDirectory;
 
   /// Event-list backend for the simulator's queue. Both backends produce

@@ -32,6 +32,9 @@ struct SimulationResult {
   std::int64_t sessions_active_at_end = 0;
   /// Suppliers that permanently left (only nonzero under departure churn).
   std::int64_t suppliers_departed = 0;
+  /// Supplier-side watchdog self-recoveries after a lost EndSession (only
+  /// nonzero in the message-level engine under loss).
+  std::int64_t watchdog_recoveries = 0;
   std::uint64_t events_executed = 0;
   /// Largest simultaneous pending-event count (sim::Simulator
   /// peak_pending_count()). With lazy arrival sources this is

@@ -6,6 +6,7 @@
 
 #include "core/ots.hpp"
 #include "core/selection.hpp"
+#include "core/selection_policy.hpp"
 #include "engine/arrival_source.hpp"
 #include "lookup/chord.hpp"
 #include "lookup/directory.hpp"
@@ -48,6 +49,8 @@ StreamingSystem::StreamingSystem(SimulationConfig config)
                config_.defection_probability <= 1.0);
   P2PS_REQUIRE(config_.sample_interval > util::SimTime::zero());
   P2PS_REQUIRE(config_.favored_sample_interval > util::SimTime::zero());
+  P2PS_REQUIRE_MSG(config_.selection_policy != nullptr,
+                   "SimulationConfig.selection_policy must not be null");
 
   if (config_.trace_capacity > 0) {
     trace_ = std::make_unique<TraceLog>(config_.trace_capacity);
@@ -60,6 +63,7 @@ StreamingSystem::StreamingSystem(SimulationConfig config)
   lookup_rng_ = master.substream("lookup");
   down_rng_ = master.substream("down");
   departure_rng_ = master.substream("departure");
+  selection_rng_ = master.substream("selection");
   util::Rng population_rng = master.substream("population");
 
   // Build the population: seeds first, then requesters with the paper's
@@ -255,11 +259,12 @@ void StreamingSystem::attempt_admission(core::PeerId id) {
   }
 
   core::SelectionResult& selection = scratch_selection_;
-  if (config_.selection_policy == SelectionPolicy::kGreedyHighestFirst) {
-    core::select_exact_cover_into(selection, granted_classes);
-  } else {
-    core::select_max_cardinality_cover_into(selection, granted_classes);
-  }
+  core::SelectionContext selection_context;
+  selection_context.requester_class = p.cls;
+  selection_context.rng = &selection_rng_;
+  config_.selection_policy->select_into(selection, granted_classes,
+                                        core::Bandwidth::playback_rate(),
+                                        selection_context);
 
   if (selection.success()) {
     // ---- admitted: start the streaming session ----

@@ -138,6 +138,11 @@ class StreamingSystem {
   util::Rng lookup_rng_{0};
   util::Rng down_rng_{0};
   util::Rng departure_rng_{0};
+  /// Dedicated substream for randomized selection policies. Derived like
+  /// every other substream (derivation is const on the master), so wiring
+  /// it in cannot perturb the existing streams; deterministic policies
+  /// never draw from it.
+  util::Rng selection_rng_{0};
 
   std::vector<Peer> peers_;
   std::unordered_map<core::SessionId, ActiveSession> sessions_;

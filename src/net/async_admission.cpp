@@ -108,7 +108,10 @@ void SupplierEndpoint::on_message(const Envelope<Message>& envelope) {
               // Teardown never arrived: free the slot unilaterally. The
               // idle chain this starts anchors at the watchdog's own
               // deadline, wherever the clock is when it fires.
-              if (admission_.busy()) end_session_at(at);
+              if (admission_.busy()) {
+                ++watchdog_recoveries_;
+                end_session_at(at);
+              }
             });
       }
     }
@@ -246,7 +249,17 @@ void AsyncAdmissionAttempt::conclude() {
     }
   }
 
-  const core::SelectionResult selection = core::select_exact_cover(granted_classes);
+  core::SelectionResult local_selection;
+  core::SelectionResult& selection = config_.selection_scratch != nullptr
+                                         ? *config_.selection_scratch
+                                         : local_selection;
+  const core::SelectionPolicy& policy =
+      config_.policy != nullptr ? *config_.policy : core::paper_dac_policy();
+  core::SelectionContext selection_context;
+  selection_context.requester_class = own_class_;
+  selection_context.rng = config_.selection_rng;
+  policy.select_into(selection, granted_classes, core::Bandwidth::playback_rate(),
+                     selection_context);
   if (selection.success()) {
     std::vector<bool> chosen(granted.size(), false);
     for (std::size_t pick : selection.chosen) chosen[pick] = true;

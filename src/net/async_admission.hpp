@@ -21,6 +21,7 @@
 #include "core/admission/supplier.hpp"
 #include "core/ids.hpp"
 #include "core/selection.hpp"
+#include "core/selection_policy.hpp"
 #include "lookup/lookup_service.hpp"
 #include "net/mailbox.hpp"
 #include "net/messages.hpp"
@@ -81,6 +82,10 @@ class SupplierEndpoint {
   /// Session this endpoint is currently serving (invalid when idle).
   [[nodiscard]] core::SessionId active_session() const { return active_session_; }
 
+  /// Times the session watchdog freed the slot because the EndSession
+  /// teardown never arrived (lost message self-recovery).
+  [[nodiscard]] std::int64_t watchdog_recoveries() const { return watchdog_recoveries_; }
+
  private:
   void on_message(const Envelope<Message>& envelope);
   void clear_hold();
@@ -101,6 +106,7 @@ class SupplierEndpoint {
   sim::TimerId idle_timer_ = sim::TimerId::invalid();
   sim::TimerId watchdog_timer_ = sim::TimerId::invalid();
   core::SessionId active_session_ = core::SessionId::invalid();
+  std::int64_t watchdog_recoveries_ = 0;
 };
 
 /// One asynchronous admission attempt by a requesting peer.
@@ -123,6 +129,15 @@ class AsyncAdmissionAttempt {
     /// Give up on unresponsive candidates after this long.
     util::SimTime response_timeout = util::SimTime::seconds(5);
     bool reminders_enabled = true;
+    /// Supplier-selection policy; null means the paper-dac baseline.
+    const core::SelectionPolicy* policy = nullptr;
+    /// Host-owned RNG substream for randomized policies (may be null for
+    /// deterministic ones).
+    util::Rng* selection_rng = nullptr;
+    /// Host-owned selection buffer, reused across attempts (falls back to
+    /// a per-conclude local when null). Sharing is safe because conclude()
+    /// never re-enters: message deliveries are scheduled events.
+    core::SelectionResult* selection_scratch = nullptr;
   };
 
   AsyncAdmissionAttempt(core::PeerId self, core::PeerClass own_class,

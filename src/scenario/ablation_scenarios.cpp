@@ -119,7 +119,7 @@ Json ablation_selection(const ScenarioOptions& options) {
   auto greedy_config =
       paper_config(options, workload::ArrivalPattern::kRampUpDown, true);
   auto wide_config = greedy_config;
-  wide_config.selection_policy = engine::SelectionPolicy::kMaxCardinality;
+  wide_config.selection_policy = &core::max_cardinality_policy();
   const auto greedy = engine::StreamingSystem(greedy_config).run();
   const auto wide = engine::StreamingSystem(wide_config).run();
 

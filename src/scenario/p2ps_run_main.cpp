@@ -8,6 +8,7 @@
 //            [--latency fixed|uniform|twoclass|lognormal] latency model
 //            [--loss P]                  message drop probability [0, 1]
 //            [--transport batched|unbatched]    mailbox delivery mode
+//            [--policy NAME]             supplier-selection policy
 //            [--out FILE]                also write the JSON to FILE
 //            [--compact]                 single-line JSON (default: pretty)
 //   p2ps_run --sweep <scenario...>       parameter study: run the cross
@@ -16,6 +17,7 @@
 //            [--event-lists heap,calendar] losses on a thread pool, merged
 //            [--latencies fixed,twoclass] into one JSON report in
 //            [--losses 0,0.02] [--threads N] deterministic point order
+//            [--policies a,b]            selection policies as a sweep axis
 //            [--timers wheel|lazy|events] timer strategy for every point
 //
 // Determinism contract: the same (scenario, seed, scale) always emits
@@ -33,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/selection_policy.hpp"
 #include "net/latency.hpp"
 #include "net/mailbox.hpp"
 #include "scenario/scenario.hpp"
@@ -65,14 +68,16 @@ int usage(const std::string& program) {
             << " <scenario> [--seed N] [--scale D] [--event-list heap|calendar]"
                " [--timers wheel|lazy|events]"
                " [--latency fixed|uniform|twoclass|lognormal] [--loss P]"
-               " [--transport batched|unbatched] [--out FILE] [--compact]\n"
+               " [--transport batched|unbatched] [--policy NAME]"
+               " [--out FILE] [--compact]\n"
             << "       " << program
             << " --sweep <scenario...> [--scenarios a,b] [--seeds N,M]"
                " [--scales D,E] [--event-lists heap,calendar]"
                " [--latencies fixed,twoclass] [--losses 0,0.02]"
-               " [--timers wheel|lazy|events] [--threads N]"
+               " [--policies a,b] [--timers wheel|lazy|events] [--threads N]"
                " [--out FILE] [--compact]\n"
-            << "       " << program << " --list\n";
+            << "       " << program << " --list\n"
+            << "policies: " << p2ps::core::selection_policy_names() << '\n';
   return 2;
 }
 
@@ -95,6 +100,18 @@ std::optional<p2ps::net::LatencyModelKind> parse_latency(const std::string& toke
               << token << "'\n";
   }
   return kind;
+}
+
+/// Parses one selection-policy token of --policy/--policies against the
+/// policy registry or dies with a CLI error listing the valid names.
+const p2ps::core::SelectionPolicy* parse_policy(const std::string& token) {
+  const auto* policy = p2ps::core::find_selection_policy(token);
+  if (policy == nullptr) {
+    std::cerr << "error: selection policy must be one of "
+              << p2ps::core::selection_policy_names() << ", got '" << token
+              << "'\n";
+  }
+  return policy;
 }
 
 /// Parses one timer-strategy token or dies with a CLI error message.
@@ -283,6 +300,14 @@ int main(int argc, char** argv) {
           spec.losses.push_back(*loss);
         }
       }
+      if (const auto policies = flags.value("policies")) {
+        spec.policies.clear();
+        for (const auto& token : p2ps::scenario::split_csv(*policies)) {
+          const auto* policy = parse_policy(token);
+          if (policy == nullptr) return 2;
+          spec.policies.push_back(policy);
+        }
+      }
       // The timer strategy is event-core mechanics (byte-identical output),
       // so it is a shared setting rather than a sweep axis.
       const std::string sweep_timers = flags.get_string("timers", "");
@@ -351,6 +376,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.transport = *mode;
+
+      const std::string policy_name = flags.get_string("policy", "");
+      if (!policy_name.empty()) {
+        const auto* policy = parse_policy(policy_name);
+        if (policy == nullptr) return 2;
+        options.policy = policy;
+      }
 
       // Reject typos before the run — a paper-scale simulation is too
       // expensive to discard on one.

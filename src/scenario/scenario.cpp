@@ -49,6 +49,7 @@ void register_all_scenarios() {
   register_ablation_scenarios(registry);
   register_perf_scenarios(registry);
   register_message_scenarios(registry);
+  register_study_scenarios(registry);
 }
 
 Json run_scenario(std::string_view name, const ScenarioOptions& options) {
@@ -73,6 +74,7 @@ engine::SimulationConfig paper_config(const ScenarioOptions& options,
                                          options.scale);
   config.event_list = options.event_list;
   config.timers.strategy = options.timers;
+  if (options.policy != nullptr) config.selection_policy = options.policy;
   return config;
 }
 
@@ -81,6 +83,7 @@ void scale_population(const ScenarioOptions& options, engine::SimulationConfig& 
   config.validate_invariants = false;
   config.event_list = options.event_list;
   config.timers.strategy = options.timers;
+  if (options.policy != nullptr) config.selection_policy = options.policy;
   workload::apply_population_divisor(config.population, options.scale);
 }
 

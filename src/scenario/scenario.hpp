@@ -53,6 +53,13 @@ struct ScenarioOptions {
   /// emit identical JSON (docs/message_batching.md), and keeping the field
   /// out of every payload lets tests compare whole documents.
   net::TransportMode transport = net::TransportMode::kBatched;
+  /// Supplier-selection policy override (--policy); null = every scenario's
+  /// own default (the paper-dac baseline except where a scenario pins its
+  /// own, e.g. ablation_selection). Deliberately absent from the envelope:
+  /// the default must stay byte-identical to pre-policy-layer output, and
+  /// policy-lab scenarios echo the policy name inside their payloads where
+  /// it is a real workload parameter.
+  const core::SelectionPolicy* policy = nullptr;
 };
 
 using ScenarioFn = std::function<Json(const ScenarioOptions&)>;
@@ -130,5 +137,6 @@ void register_workload_scenarios(Registry& registry);
 void register_ablation_scenarios(Registry& registry);
 void register_perf_scenarios(Registry& registry);
 void register_message_scenarios(Registry& registry);
+void register_study_scenarios(Registry& registry);
 
 }  // namespace p2ps::scenario

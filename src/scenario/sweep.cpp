@@ -31,6 +31,7 @@ std::vector<SweepPoint> SweepSpec::points() const {
   P2PS_REQUIRE_MSG(!event_lists.empty(), "sweep needs at least one event list");
   P2PS_REQUIRE_MSG(!latencies.empty(), "sweep needs at least one latency model");
   P2PS_REQUIRE_MSG(!losses.empty(), "sweep needs at least one loss value");
+  P2PS_REQUIRE_MSG(!policies.empty(), "sweep needs at least one policy");
   for (const auto& loss : losses) {
     P2PS_REQUIRE_MSG(!loss || (*loss >= 0.0 && *loss <= 1.0),
                      "sweep losses must be probabilities in [0, 1]");
@@ -46,15 +47,18 @@ std::vector<SweepPoint> SweepSpec::points() const {
   }
   std::vector<SweepPoint> out;
   out.reserve(scenarios.size() * seeds.size() * scales.size() *
-              event_lists.size() * latencies.size() * losses.size());
+              event_lists.size() * latencies.size() * losses.size() *
+              policies.size());
   for (const auto& name : scenarios) {
     for (const std::uint64_t seed : seeds) {
       for (const std::int64_t scale : scales) {
         for (const sim::EventListKind kind : event_lists) {
           for (const auto& latency : latencies) {
             for (const auto& loss : losses) {
-              out.push_back(
-                  SweepPoint{name, seed, scale, kind, latency, loss, timers});
+              for (const core::SelectionPolicy* policy : policies) {
+                out.push_back(SweepPoint{name, seed, scale, kind, latency,
+                                         loss, policy, timers});
+              }
             }
           }
         }
@@ -92,6 +96,7 @@ Json run_sweep_points(const std::vector<SweepPoint>& points, int threads) {
         options.event_list = point.event_list;
         options.latency = point.latency;
         options.loss = point.loss;
+        options.policy = point.policy;
         options.timers = point.timers;
         runs[index] = run_scenario(point.scenario, options);
       } catch (...) {
@@ -138,6 +143,9 @@ Json run_sweep_points(const std::vector<SweepPoint>& points, int threads) {
                   : std::string("default"));
     entry.set("loss", points[index].loss ? Json(*points[index].loss)
                                          : Json("default"));
+    entry.set("policy", points[index].policy
+                            ? std::string(points[index].policy->name())
+                            : std::string("default"));
     entry.set("run", std::move(runs[index]));
     merged.push_back(std::move(entry));
   }

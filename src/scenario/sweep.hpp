@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/selection_policy.hpp"
 #include "net/latency.hpp"
 #include "scenario/json.hpp"
 #include "sim/event_list.hpp"
@@ -38,13 +39,17 @@ struct SweepPoint {
   /// scenario's own default. The loss x latency studies of the ROADMAP's
   /// "loss × reordering" item sweep this axis against `latencies`.
   std::optional<double> loss;
+  /// Supplier-selection policy; nullptr = every scenario's own default
+  /// (the paper-dac baseline). The "--policies" axis of the policy lab.
+  const core::SelectionPolicy* policy = nullptr;
   /// Timer-subsystem strategy. Not an axis (it is byte-invisible
   /// mechanics, docs/timers.md) — a single shared setting for every point.
   sim::TimerStrategy timers = sim::TimerConfig{}.strategy;
 };
 
 /// A sweep specification: the cross product of its axes, in deterministic
-/// order (scenario-major, then seed, scale, backend, latency, loss).
+/// order (scenario-major, then seed, scale, backend, latency, loss,
+/// policy).
 struct SweepSpec {
   std::vector<std::string> scenarios;
   std::vector<std::uint64_t> seeds = {2002};
@@ -52,6 +57,8 @@ struct SweepSpec {
   std::vector<sim::EventListKind> event_lists = {sim::EventListKind::kBinaryHeap};
   std::vector<std::optional<net::LatencyModelKind>> latencies = {std::nullopt};
   std::vector<std::optional<double>> losses = {std::nullopt};
+  /// Selection-policy axis; nullptr entries mean "scenario default".
+  std::vector<const core::SelectionPolicy*> policies = {nullptr};
   /// Shared (non-axis) timer strategy applied to every point.
   sim::TimerStrategy timers = sim::TimerConfig{}.strategy;
 

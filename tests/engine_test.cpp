@@ -177,7 +177,7 @@ TEST(Engine, MaxCardinalitySelectionInflatesDelay) {
   auto narrow = small_config(5);
   narrow.horizon = SimTime::hours(24);
   auto wide = narrow;
-  wide.selection_policy = SelectionPolicy::kMaxCardinality;
+  wide.selection_policy = &core::max_cardinality_policy();
   const auto narrow_result = StreamingSystem(narrow).run();
   const auto wide_result = StreamingSystem(wide).run();
   ASSERT_GT(narrow_result.overall.admissions, 0);

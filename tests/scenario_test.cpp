@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 
+#include "core/selection_policy.hpp"
 #include "scenario/json.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/event_list.hpp"
@@ -106,7 +107,7 @@ TEST(Registry, FindLocatesEveryFigureAndWorkload) {
         "fig8_parameters", "fig9_backoff", "table1_rejections",
         "thm1_delay_sweep", "flash_crowd", "churn_resilience", "incentive",
         "chord_lookup", "ablation_churn", "ablation_reminder",
-        "ablation_selection"}) {
+        "ablation_selection", "fig5_policy_lab", "msg_loss_latency_study"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }
@@ -192,7 +193,7 @@ TEST(RunScenario, EveryScenarioIsByteIdenticalAcrossEventListBackends) {
     EXPECT_EQ(on_heap, on_calendar) << scenario->name;
     ++checked;
   }
-  EXPECT_GE(checked, 19u);  // 17 pre-existing + the perf family
+  EXPECT_GE(checked, 24u);  // 22 pre-existing + the policy/study family
 }
 
 // The TimerService acceptance criterion: every registered scenario must
@@ -224,7 +225,28 @@ TEST(RunScenario, EveryScenarioIsByteIdenticalAcrossTimerStrategies) {
     }
     ++checked;
   }
-  EXPECT_GE(checked, 22u);
+  EXPECT_GE(checked, 24u);
+}
+
+// The policy-lab acceptance criterion: a --policy override must preserve
+// byte-determinism across event-list backends for every registered policy,
+// session-level and message-level engines alike (randomized policies draw
+// from their own named substream, so backend choice cannot perturb them).
+TEST(RunScenario, EveryPolicyIsByteIdenticalAcrossEventListBackends) {
+  for (const core::SelectionPolicy* policy : core::all_selection_policies()) {
+    ScenarioOptions heap;
+    heap.seed = 2002;
+    heap.scale = 100;
+    heap.policy = policy;
+    heap.event_list = sim::EventListKind::kBinaryHeap;
+    ScenarioOptions calendar = heap;
+    calendar.event_list = sim::EventListKind::kCalendarQueue;
+    for (const char* name : {"flash_crowd", "msg_flash_crowd"}) {
+      EXPECT_EQ(run_scenario(name, heap).dump(),
+                run_scenario(name, calendar).dump())
+          << name << " under " << policy->name();
+    }
+  }
 }
 
 TEST(StripEventMechanics, ZeroesExactlyTheMechanicsCounters) {

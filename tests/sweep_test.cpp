@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/selection_policy.hpp"
 #include "scenario/sweep.hpp"
 #include "util/assert.hpp"
 
@@ -218,6 +219,49 @@ TEST(RunSweep, LognormalLatencyRunsAndIsEchoed) {
   const std::string text = report.dump();
   EXPECT_NE(text.find("\"latency\":\"lognormal\""), std::string::npos);
   EXPECT_NE(text.find("\"delivered\":"), std::string::npos);
+}
+
+TEST(SweepSpec, PolicyAxisIsValidatedAndInnermost) {
+  SweepSpec spec;
+  spec.scenarios = {"flash_crowd"};
+  spec.seeds = {1};
+  spec.scales = {200};
+  spec.policies = {&core::paper_dac_policy(),
+                   core::find_selection_policy("first-fit")};
+  const auto points = spec.points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].policy, &core::paper_dac_policy());
+  EXPECT_EQ(points[1].policy, core::find_selection_policy("first-fit"));
+
+  SweepSpec empty = spec;
+  empty.policies.clear();
+  EXPECT_THROW((void)empty.points(), util::ContractViolation);
+}
+
+TEST(RunSweep, PolicyAxisIsEchoedAndChangesRuns) {
+  SweepSpec spec;
+  spec.scenarios = {"flash_crowd"};
+  spec.seeds = {1};
+  spec.scales = {200};
+  spec.policies = {nullptr, core::find_selection_policy("max-cardinality")};
+  const auto report = run_sweep(spec, 2);
+  const std::string text = report.dump();
+  // The default axis renders as "default"; named policies echo their name.
+  EXPECT_NE(text.find("\"policy\":\"default\""), std::string::npos);
+  EXPECT_NE(text.find("\"policy\":\"max-cardinality\""), std::string::npos);
+  // Both points ran the same workload, but the chosen supplier sets (and
+  // with them Theorem-1 delay) must differ between the two policies.
+  const std::size_t first = text.find("\"mean_delay_dt\":");
+  const std::size_t second = text.find("\"policy\":\"max-cardinality\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  const std::string default_half = text.substr(0, second);
+  const std::string wide_half = text.substr(second);
+  const auto delay_of = [](const std::string& part) {
+    const std::size_t at = part.find("\"mean_delay_dt\":");
+    return part.substr(at, part.find(',', at) - at);
+  };
+  EXPECT_NE(delay_of(default_half), delay_of(wide_half));
 }
 
 TEST(RunSweep, MoreThreadsThanPointsIsFine) {
