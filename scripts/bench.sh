@@ -9,7 +9,14 @@
 #   P2PS_BENCH_SCALE   population divisor              (default 1 = full)
 #   P2PS_BENCH_REPS    timed repetitions per backend   (default 3, best-of)
 #
-# Output schema (BENCH_5.json):
+# Output schema (BENCH_7.json):
+#   sharded                    perf_sharded_scale (1,002,000 peers, 8
+#                              shards) after a full-scale --shards 1/4/8
+#                              byte-parity verify: wall clock, total and
+#                              per-shard events/sec, the largest per-shard
+#                              peak event list, peak RSS and the window /
+#                              cross-shard exchange counts — the PR-7
+#                              headline (docs/sharding.md)
 #   single_run                 perf_steady wall/events-per-sec per backend
 #                              (best-of-reps; the PR-2 headline comparison)
 #   peak_event_list            fig5-scale run: lazy peak vs the eager
@@ -34,7 +41,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
-out_file="${2:-${repo_root}/BENCH_5.json}"
+out_file="${2:-${repo_root}/BENCH_7.json}"
 seed="${P2PS_BENCH_SEED:-2002}"
 scale="${P2PS_BENCH_SCALE:-1}"
 reps="${P2PS_BENCH_REPS:-3}"
@@ -165,6 +172,58 @@ timer_peak_reduction=$(( msg_peak_wheel > 0 ? msg_peak_events / msg_peak_wheel :
 timer_speedup_x100=$(( msg_best_ms_wheel > 0 \
     ? msg_best_ms_events * 100 / msg_best_ms_wheel : 0 ))
 
+# The sharded engine's full-scale acceptance gate: the merged
+# perf_sharded_scale payload (1,002,000 peers at scale 1) must be
+# byte-identical for --shards 1, 4 and 8 before any sharded number enters
+# the trajectory. Mechanics stay off here so whole documents compare.
+echo "==> sharded verify: perf_sharded_scale full-scale parity (--shards 1/4/8)"
+"${runner}" perf_sharded_scale --seed "${seed}" --scale "${scale}" --compact \
+    --shards 8 > "${tmp_dir}/sharded.s8.json"
+for shards in 1 4; do
+  "${runner}" perf_sharded_scale --seed "${seed}" --scale "${scale}" \
+      --compact --shards "${shards}" > "${tmp_dir}/sharded.s${shards}.json"
+  cmp "${tmp_dir}/sharded.s8.json" "${tmp_dir}/sharded.s${shards}.json" || {
+    echo "FAIL: perf_sharded_scale differs between --shards 8 and" \
+         "--shards ${shards}" >&2
+    exit 1
+  }
+done
+
+echo "==> sharded timing: perf_sharded_scale --shards 8 (${reps} reps, best-of)"
+"${runner}" perf_sharded_scale --seed "${seed}" --scale "${scale}" --compact \
+    --shards 8 --mechanics > "${tmp_dir}/sharded.mech.json"
+best=""
+for rep in $(seq "${reps}"); do
+  start="$(now_ms)"
+  "${runner}" perf_sharded_scale --seed "${seed}" --scale "${scale}" \
+      --compact --shards 8 > /dev/null
+  elapsed=$(( $(now_ms) - start ))
+  echo "    perf_sharded_scale rep ${rep}: ${elapsed} ms"
+  if [ -z "${best}" ] || [ "${elapsed}" -lt "${best}" ]; then best="${elapsed}"; fi
+done
+sharded_best_ms="${best}"
+sharded_population="$(grep -o '"population":[0-9]*' \
+    "${tmp_dir}/sharded.mech.json" | head -1 | cut -d: -f2)"
+# events_executed appears once per shard (the mechanics per_shard array).
+sharded_events_list="$(grep -o '"events_executed":[0-9]*' \
+    "${tmp_dir}/sharded.mech.json" | cut -d: -f2)"
+sharded_events_total=0
+for n in ${sharded_events_list}; do
+  sharded_events_total=$(( sharded_events_total + n ))
+done
+sharded_peak_max="$(grep -o '"peak_event_list":[0-9]*' \
+    "${tmp_dir}/sharded.mech.json" | cut -d: -f2 | sort -n | tail -1)"
+sharded_rss="$(grep -o '"peak_rss_bytes":[0-9]*' \
+    "${tmp_dir}/sharded.mech.json" | head -1 | cut -d: -f2)"
+sharded_windows="$(grep -o '"windows":[0-9]*' \
+    "${tmp_dir}/sharded.mech.json" | head -1 | cut -d: -f2)"
+sharded_cross="$(grep -o '"cross_shard_messages":[0-9]*' \
+    "${tmp_dir}/sharded.mech.json" | head -1 | cut -d: -f2)"
+sharded_eps_total="$(eps "${sharded_events_total}" "${sharded_best_ms}")"
+sharded_per_shard_eps="$(for n in ${sharded_events_list}; do
+  eps "${n}" "${sharded_best_ms}"
+done | paste -sd, -)"
+
 echo "==> sweep: 8 points (perf_steady x 8 seeds, scale $((scale * 4))), serial vs ${cores} threads"
 sweep_args=(--sweep perf_steady --seeds 1,2,3,4,5,6,7,8
             --scales $(( scale * 4 )) --compact)
@@ -183,7 +242,7 @@ speedup_x100=$(( parallel_ms > 0 ? serial_ms * 100 / parallel_ms : 0 ))
 
 cat > "${out_file}" <<EOF
 {
-  "bench": "unified lazy TimerService (wheel + deadline-check-on-probe)",
+  "bench": "sharded conservative-parallel engine (byte-identical merge for any --shards)",
   "scenario": "${scenario}",
   "seed": ${seed},
   "scale": ${scale},
@@ -230,6 +289,20 @@ cat > "${out_file}" <<EOF
     "peak_reduction_factor": ${timer_peak_reduction},
     "speedup_x100_events_to_wheel": ${timer_speedup_x100}
   },
+  "sharded": {
+    "scenario": "perf_sharded_scale",
+    "population": ${sharded_population},
+    "shards": 8,
+    "parity_verified_shards": [1, 4, 8],
+    "wall_ms": ${sharded_best_ms},
+    "events_executed_total": ${sharded_events_total},
+    "events_per_sec_total": ${sharded_eps_total},
+    "per_shard_events_per_sec": [${sharded_per_shard_eps}],
+    "peak_event_list_max": ${sharded_peak_max},
+    "peak_rss_bytes": ${sharded_rss},
+    "windows": ${sharded_windows},
+    "cross_shard_messages": ${sharded_cross}
+  },
   "sweep": {
     "points": 8,
     "serial_wall_ms": ${serial_ms},
@@ -248,4 +321,8 @@ echo "==> wrote ${out_file}: ${events} events, best ${headline} events/sec" \
      "${msg_peak_wheel} (wheel, ${timer_peak_reduction}x)," \
      "wall ${msg_best_ms_events}ms -> ${msg_best_ms_wheel}ms wheel /" \
      "${msg_best_ms_lazy}ms lazy;" \
+     "sharded: ${sharded_population} peers / 8 shards, parity 1/4/8 OK," \
+     "${sharded_events_total} events in ${sharded_best_ms}ms" \
+     "(${sharded_eps_total}/s), peak list ${sharded_peak_max}," \
+     "RSS ${sharded_rss}B;" \
      "sweep ${serial_ms}ms serial -> ${parallel_ms}ms on ${cores} threads"

@@ -232,6 +232,44 @@ grep -q '"policy":"first-fit"' "${smoke_dir}/policy.2t.json" || {
   exit 1
 }
 
+# Shard smoke: the conservative-parallel engine's headline contract — a
+# sharded scenario's payload is byte-identical for EVERY --shards and
+# --shard-threads value (docs/sharding.md), and junk --shards tokens are
+# rejected with the CLI usage error (exit 2) before any simulation runs.
+# The default-shards output (.1.json, 4 shards) was already produced and
+# determinism-checked by the smoke loop above.
+echo "==> shard smoke: msg_fig5_sharded x {--shards 1, --shards 7 + threads}"
+for bad_shards in banana 0 -3 2.5; do
+  status=0
+  "${runner}" msg_fig5_sharded --shards "${bad_shards}" --scale "${scale}" \
+      --compact > /dev/null 2>&1 || status=$?
+  if [ "${status}" -ne 2 ]; then
+    echo "FAIL: --shards '${bad_shards}' exited ${status} (expected usage" \
+         "error 2)" >&2
+    exit 1
+  fi
+done
+"${runner}" msg_fig5_sharded --seed "${seed}" --scale "${scale}" --compact \
+    --shards 1 > "${smoke_dir}/msg_fig5_sharded.s1.json"
+cmp "${smoke_dir}/msg_fig5_sharded.1.json" \
+    "${smoke_dir}/msg_fig5_sharded.s1.json" || {
+  echo "FAIL: msg_fig5_sharded differs between --shards 1 and the default" \
+       "4 shards" >&2
+  exit 1
+}
+"${runner}" msg_fig5_sharded --seed "${seed}" --scale "${scale}" --compact \
+    --shards 7 --shard-threads 2 > "${smoke_dir}/msg_fig5_sharded.s7.json"
+cmp "${smoke_dir}/msg_fig5_sharded.1.json" \
+    "${smoke_dir}/msg_fig5_sharded.s7.json" || {
+  echo "FAIL: msg_fig5_sharded differs between --shards 7 --shard-threads 2" \
+       "and the default 4 shards" >&2
+  exit 1
+}
+grep -q '"mechanics"' "${smoke_dir}/msg_fig5_sharded.1.json" && {
+  echo "FAIL: sharded payload leaked mechanics without --mechanics" >&2
+  exit 1
+}
+
 echo "==> OK: build, tests, ${count}-scenario smoke pass, perf smoke," \
      "message smoke, sweep smoke, latency-axis smoke, timer smoke," \
-     "loss-axis smoke and policy smoke all green"
+     "loss-axis smoke, policy smoke and shard smoke all green"

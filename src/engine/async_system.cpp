@@ -15,7 +15,10 @@ AsyncStreamingSystem::AsyncStreamingSystem(AsyncSimulationConfig config)
       transport_(simulator_, config_.transport,
                  util::Rng(config_.seed).substream("transport")),
       metrics_(config_.protocol.num_classes),
-      retries_(simulator_, [this](core::PeerId id) { start_attempt(id); }) {
+      retries_(simulator_, [this](core::PeerId id) { start_attempt(id); }),
+      session_ends_(simulator_, [this](SessionEnd&& end) {
+        finish_session(end.requester, std::move(end.suppliers), end.session);
+      }) {
   workload::validate(config_.population);
   P2PS_REQUIRE(config_.population.num_classes == config_.protocol.num_classes);
   P2PS_REQUIRE(config_.protocol.m_candidates > 0);
@@ -156,11 +159,9 @@ void AsyncStreamingSystem::on_attempt_done(
     ++sessions_active_;
     metrics_.on_admission(p.cls, p.backoff->rejections(), result.buffering_delay_dt,
                           simulator_.now() - p.first_request_time);
-    simulator_.schedule_after(
-        config_.session_duration,
-        [this, id, suppliers = result.suppliers, session = result.session] {
-          finish_session(id, suppliers, session);
-        });
+    session_ends_.schedule(
+        simulator_.now() + config_.session_duration,
+        SessionEnd{id, result.session, result.suppliers});
     return;
   }
 
@@ -184,6 +185,10 @@ void AsyncStreamingSystem::finish_session(core::PeerId requester_id,
 }
 
 void AsyncStreamingSystem::take_sample(util::SimTime t) {
+  // Deterministic tie rule: every session end due at or before the sample
+  // tick happens before the sample reads capacity/active counts — the
+  // calendar's own event and the sampler's could otherwise race on seq.
+  session_ends_.poll();
   timers_.poll();
   metrics_.hourly_sample(t, capacity(), sessions_active_, suppliers_);
 }

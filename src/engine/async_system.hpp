@@ -28,6 +28,7 @@
 #include "engine/config.hpp"
 #include "engine/result.hpp"
 #include "engine/retry_source.hpp"
+#include "engine/session_end_calendar.hpp"
 #include "lookup/directory.hpp"
 #include "metrics/collector.hpp"
 #include "net/async_admission.hpp"
@@ -137,6 +138,16 @@ class AsyncStreamingSystem {
   /// Lazy backoff retries: one in-flight event for the whole waiting
   /// population (the session-level engine's RetrySource trick).
   RetrySource retries_;
+  /// One pending finish for every admitted session (constant duration =>
+  /// monotone end ticks => FIFO calendar): the session-end population that
+  /// used to cost one event per active session costs one event total
+  /// (engine/session_end_calendar.hpp).
+  struct SessionEnd {
+    core::PeerId requester;
+    core::SessionId session;
+    std::vector<lookup::CandidateInfo> suppliers;
+  };
+  SessionEndCalendar<SessionEnd> session_ends_;
   std::uint64_t next_session_ = 0;
   /// Shared selection buffer handed to every attempt (conclude() never
   /// re-enters, so one buffer serves all in-flight attempts).

@@ -6,7 +6,25 @@
 #include "util/assert.hpp"
 #include "util/table.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace p2ps::engine {
+
+std::int64_t process_peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;  // kilobytes
+#endif
+#else
+  return 0;
+#endif
+}
 
 const metrics::HourlySample& SimulationResult::sample_at(util::SimTime t) const {
   P2PS_REQUIRE(!hourly.empty());

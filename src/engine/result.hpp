@@ -44,6 +44,11 @@ struct SimulationResult {
   /// (TimerService events) — what the wheel/lazy timer strategies
   /// collapse. The remainder is the protocol's own event traffic.
   std::int64_t peak_event_list_timers = 0;
+  /// Process-wide peak resident set (getrusage ru_maxrss) read when the
+  /// run finished; 0 when not captured. A process-level, run-varying
+  /// measurement — scenarios emit it only behind --mechanics, and
+  /// strip_event_mechanics() zeroes it for parity comparisons.
+  std::int64_t peak_rss_bytes = 0;
 
   /// Chord routing statistics (populated when lookup == kChord).
   std::uint64_t lookup_routed = 0;
@@ -59,5 +64,10 @@ struct SimulationResult {
 
 /// Human-readable one-run summary (used by examples and smoke benches).
 void print_summary(std::ostream& os, const SimulationResult& result);
+
+/// Process-wide peak resident set size in bytes (getrusage ru_maxrss),
+/// or 0 where the platform does not report it. Monotone over the process
+/// lifetime — a memory high-water mark, not an instantaneous reading.
+[[nodiscard]] std::int64_t process_peak_rss_bytes();
 
 }  // namespace p2ps::engine

@@ -1,0 +1,113 @@
+// One pending event for the whole population of session finishes.
+//
+// Every admitted session ends exactly `session_duration` after it starts,
+// and admissions fire in nondecreasing simulated time — so session end
+// ticks are *monotone* and the right data structure is a FIFO, not a heap:
+// a deque of (end tick, payload) with ONE simulator event armed at the
+// front tick. However many sessions are active, the event list carries one
+// entry for all of them (the ROADMAP session-end-calendar residual; the
+// same shape as engine/retry_source.hpp and engine/arrival_source.hpp).
+//
+// Ordering semantics (the part that keeps byte-determinism):
+//   * the in-flight event is always armed at the earliest pending end tick,
+//     so ends fire at exactly their tick, never late;
+//   * poll() lets deadline-check-on-entry sites (metric samplers, barrier
+//     reads) force "every end due at or before now happens before this
+//     read" — a deterministic rule that does not depend on same-tick event
+//     seq races between the calendar's event and the caller's;
+//   * within one tick, ends fire in schedule order (FIFO), which is
+//     admission order — the same order the per-session schedule_after
+//     events used to fire in.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::engine {
+
+/// Calendar of monotone session-end deadlines carrying an `Entry` payload
+/// (requester id, supplier set, session id — whatever the engine needs to
+/// tear the session down).
+template <typename Entry>
+class SessionEndCalendar {
+ public:
+  using Handler = std::function<void(Entry&&)>;
+
+  /// Ties the calendar to `simulator` (must outlive this object). `on_end`
+  /// runs once per finished session, at exactly its end tick (or at the
+  /// first poll() at/after it).
+  SessionEndCalendar(sim::Simulator& simulator, Handler on_end)
+      : simulator_(simulator), on_end_(std::move(on_end)) {
+    P2PS_REQUIRE(on_end_ != nullptr);
+  }
+  ~SessionEndCalendar() {
+    if (event_.valid()) simulator_.cancel(event_);
+  }
+  SessionEndCalendar(const SessionEndCalendar&) = delete;
+  SessionEndCalendar& operator=(const SessionEndCalendar&) = delete;
+
+  /// Schedules one session end. `at` must be in the present-or-future and
+  /// (constant session duration) nondecreasing across calls.
+  void schedule(util::SimTime at, Entry entry) {
+    P2PS_REQUIRE_MSG(at >= simulator_.now(),
+                     "session end must not be in the past");
+    P2PS_REQUIRE_MSG(queue_.empty() || at >= queue_.back().at,
+                     "session ends must be scheduled in nondecreasing order");
+    queue_.push_back(Slot{at, std::move(entry)});
+    sync_arm();
+  }
+
+  /// Fires every end due at or before now(), in FIFO (admission) order.
+  /// Handlers may reentrantly schedule() new ends.
+  void poll() {
+    const util::SimTime now = simulator_.now();
+    while (!queue_.empty() && queue_.front().at <= now) {
+      Slot slot = std::move(queue_.front());
+      queue_.pop_front();
+      on_end_(std::move(slot.entry));
+    }
+    sync_arm();
+  }
+
+  /// Sessions scheduled but not yet finished.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Slot {
+    util::SimTime at;
+    Entry entry;
+  };
+
+  /// Restores the invariant: the one event is armed at the front tick iff
+  /// the queue is nonempty. Cheap no-op when already true.
+  void sync_arm() {
+    if (queue_.empty()) {
+      if (event_.valid()) {
+        simulator_.cancel(event_);
+        event_ = sim::EventId::invalid();
+      }
+      return;
+    }
+    const util::SimTime due = queue_.front().at;
+    if (event_.valid() && armed_at_ == due) return;
+    if (event_.valid()) simulator_.cancel(event_);
+    armed_at_ = due;
+    event_ = simulator_.schedule_at(due, [this] {
+      event_ = sim::EventId::invalid();
+      poll();
+    });
+  }
+
+  sim::Simulator& simulator_;
+  Handler on_end_;
+  std::deque<Slot> queue_;
+  sim::EventId event_ = sim::EventId::invalid();
+  util::SimTime armed_at_ = util::SimTime::zero();
+};
+
+}  // namespace p2ps::engine

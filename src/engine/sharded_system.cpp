@@ -1,0 +1,639 @@
+#include "engine/sharded_system.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/ots.hpp"
+#include "engine/result.hpp"
+#include "util/assert.hpp"
+
+namespace p2ps::engine {
+
+namespace {
+
+/// Validation must precede member construction (the router and the
+/// lookahead both consume latency bounds in the initializer list).
+ShardedConfig validated(ShardedConfig config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Config / totals
+// ---------------------------------------------------------------------------
+
+void ShardedConfig::validate() const {
+  workload::validate(population);
+  P2PS_REQUIRE(population.num_classes == protocol.num_classes);
+  P2PS_REQUIRE(protocol.m_candidates > 0);
+  P2PS_REQUIRE(arrival_window > util::SimTime::zero());
+  P2PS_REQUIRE(horizon >= arrival_window);
+  P2PS_REQUIRE(session_duration > util::SimTime::zero());
+  latency.validate();
+  P2PS_REQUIRE_MSG(latency.min_latency() >= util::SimTime::millis(1),
+                   "sharded runs need a nonzero minimum latency — it is the "
+                   "conservative lookahead");
+  P2PS_REQUIRE(loss >= 0.0 && loss <= 1.0);
+  P2PS_REQUIRE_MSG(response_timeout > 2 * latency.max_latency(),
+                   "a probe->grant round trip must fit inside the response "
+                   "window, so silent-busy is the only cause of missing "
+                   "replies under zero loss");
+  P2PS_REQUIRE_MSG(hold_timeout > response_timeout + 2 * latency.max_latency(),
+                   "holds must outlive the requester's response window plus "
+                   "a commit flight, or commits would race their own expiry");
+  P2PS_REQUIRE(shards >= 1);
+  P2PS_REQUIRE(threads >= 1);
+  P2PS_REQUIRE_MSG(sample_interval > response_timeout &&
+                       sample_interval > latency.max_latency(),
+                   "samplers are armed one full interval ahead; the interval "
+                   "must dominate every message/deadline horizon so the "
+                   "sampler always wins same-tick seq races (docs/sharding.md)");
+  P2PS_REQUIRE_MSG(selection_policy != nullptr,
+                   "ShardedConfig.selection_policy must not be null");
+}
+
+ShardedClassTotals& ShardedClassTotals::operator+=(const ShardedClassTotals& other) {
+  first_requests += other.first_requests;
+  attempts += other.attempts;
+  admissions += other.admissions;
+  rejections += other.rejections;
+  delay_dt_sum += other.delay_dt_sum;
+  rejections_at_admission_sum += other.rejections_at_admission_sum;
+  waiting_ms_sum += other.waiting_ms_sum;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Directory
+// ---------------------------------------------------------------------------
+
+void ShardedSystem::Directory::enqueue(util::SimTime visible, core::PeerId peer,
+                                       core::PeerClass cls) {
+  pending_heap_.push_back(Entry{visible, peer, cls});
+  std::push_heap(pending_heap_.begin(), pending_heap_.end(), Later{});
+}
+
+void ShardedSystem::Directory::flush_due(util::SimTime through) {
+  while (!pending_heap_.empty() && pending_heap_.front().visible <= through) {
+    std::pop_heap(pending_heap_.begin(), pending_heap_.end(), Later{});
+    const Entry entry = pending_heap_.back();
+    pending_heap_.pop_back();
+    // The flushed prefix must stay totally ordered by (visible, peer):
+    // within one flush the heap pops in order, and across flushes every
+    // later join is visible strictly after the previous flush bound
+    // (conservative lookahead — see docs/sharding.md).
+    P2PS_CHECK_MSG(
+        flushed_.empty() || flushed_.back().visible < entry.visible ||
+            (flushed_.back().visible == entry.visible &&
+             flushed_.back().peer.value() < entry.peer.value()),
+        "directory join published out of canonical (visible, peer) order");
+    flushed_.push_back(entry);
+  }
+}
+
+std::size_t ShardedSystem::Directory::visible_count(int shard, util::SimTime at) {
+  std::size_t& cursor = cursors_[static_cast<std::size_t>(shard)];
+  while (cursor < flushed_.size() && flushed_[cursor].visible <= at) ++cursor;
+  return cursor;
+}
+
+// ---------------------------------------------------------------------------
+// Shard
+// ---------------------------------------------------------------------------
+
+struct ShardedSystem::Shard {
+  int index;
+  sim::Simulator sim;
+  /// Lazy sources — one pending event each for the whole population
+  /// (declared after `sim`, destroyed before it).
+  RetrySource retries;
+  SessionEndCalendar<Deadline> deadlines;
+  SessionEndCalendar<SessionEnd> ends;
+  std::unique_ptr<sim::Periodic> sampler;
+
+  std::vector<LocalPeer> peers;
+  /// In-flight attempt pool (slab + free list; replies keep capacity).
+  std::vector<Attempt> attempts;
+  std::uint32_t attempt_free = kNoAttempt;
+  /// Next global arrival index owned by this shard (stride = shard count).
+  std::int64_t next_arrival = 0;
+
+  // Thread-confined scratch (one shard = one worker during a window).
+  core::SelectionResult selection;
+  std::vector<core::PeerClass> classes_scratch;
+  std::vector<std::size_t> indices_scratch;
+
+  // Per-shard integer sums, merged at the end of the run.
+  std::vector<ShardedClassTotals> totals;
+  std::vector<ShardedSample> samples;
+  std::int64_t capacity_units = 0;
+  std::int64_t suppliers = 0;
+  std::int64_t sessions_active = 0;
+  std::int64_t sessions_completed = 0;
+  std::int64_t hold_expirations = 0;
+  std::int64_t watchdog_recoveries = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t delivered = 0;
+
+  Shard(ShardedSystem& system, int index)
+      : index(index),
+        sim(system.config_.event_list),
+        retries(sim,
+                [&system, this](core::PeerId peer) {
+                  system.start_attempt(*this, system.local_index(peer));
+                }),
+        deadlines(sim,
+                  [&system, this](Deadline&& deadline) {
+                    LocalPeer& p = peers[deadline.peer_local];
+                    if (p.attempt == kNoAttempt ||
+                        p.attempt_epoch != deadline.epoch) {
+                      return;  // the attempt concluded first — stale
+                    }
+                    system.conclude_attempt(*this, deadline.peer_local);
+                  }),
+        ends(sim, [&system, this](SessionEnd&& end) {
+          system.finish_session(*this, std::move(end));
+        }) {
+    totals.resize(static_cast<std::size_t>(system.config_.protocol.num_classes));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+ShardedSystem::ShardedSystem(ShardedConfig config)
+    : config_(validated(std::move(config))),
+      lookahead_(config_.latency.min_latency()),
+      arrivals_(workload::ArrivalSchedule::make(config_.pattern,
+                                                config_.population.requesters,
+                                                config_.arrival_window)),
+      router_(config_.shards, lookahead_),
+      directory_(config_.shards),
+      join_buffers_(static_cast<std::size_t>(config_.shards)) {
+  total_peers_ = config_.population.seeds + config_.population.requesters;
+
+  // Everything global is derived before sharding, so it is identical for
+  // every shard count: the class mix (one "population" substream draw
+  // sequence), the arrival schedule, and each peer's private random
+  // universe (a named per-peer substream of the master seed).
+  util::Rng master(config_.seed);
+  util::Rng population_rng = master.substream("population");
+  requester_classes_ =
+      workload::build_requester_classes(config_.population, population_rng);
+
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(*this, s));
+    Shard& shard = *shards_.back();
+    const auto owned =
+        (total_peers_ - s + config_.shards - 1) / config_.shards;
+    shard.peers.reserve(static_cast<std::size_t>(std::max<std::int64_t>(owned, 0)));
+    shard.next_arrival = ((s - config_.population.seeds) % config_.shards +
+                          config_.shards) %
+                         config_.shards;
+  }
+  for (std::int64_t p = 0; p < total_peers_; ++p) {
+    const core::PeerId peer{static_cast<std::uint64_t>(p)};
+    Shard& shard = *shards_[static_cast<std::size_t>(shard_of(peer))];
+    shard.peers.emplace_back(config_, master.substream("peer", peer.value()),
+                             class_of(peer));
+  }
+  for (int s = 0; s < config_.shards; ++s) {
+    Shard& shard = *shards_[static_cast<std::size_t>(s)];
+    router_.bind(s, shard.sim, [this, &shard](const Envelope& envelope) {
+      on_deliver(shard, envelope);
+    });
+  }
+}
+
+ShardedSystem::~ShardedSystem() = default;
+
+// ---------------------------------------------------------------------------
+// Id plumbing
+// ---------------------------------------------------------------------------
+
+int ShardedSystem::shard_of(core::PeerId peer) const {
+  return static_cast<int>(peer.value() %
+                          static_cast<std::uint64_t>(config_.shards));
+}
+
+core::PeerClass ShardedSystem::class_of(core::PeerId peer) const {
+  const auto p = static_cast<std::int64_t>(peer.value());
+  if (p < config_.population.seeds) return config_.population.seed_class;
+  return requester_classes_[static_cast<std::size_t>(p - config_.population.seeds)];
+}
+
+core::PeerId ShardedSystem::global_id(int shard, std::uint32_t local) const {
+  return core::PeerId{static_cast<std::uint64_t>(local) *
+                          static_cast<std::uint64_t>(config_.shards) +
+                      static_cast<std::uint64_t>(shard)};
+}
+
+std::uint32_t ShardedSystem::local_index(core::PeerId peer) const {
+  return static_cast<std::uint32_t>(peer.value() /
+                                    static_cast<std::uint64_t>(config_.shards));
+}
+
+// ---------------------------------------------------------------------------
+// Attempt pool
+// ---------------------------------------------------------------------------
+
+std::uint32_t ShardedSystem::acquire_attempt(Shard& shard) {
+  if (shard.attempt_free != kNoAttempt) {
+    const std::uint32_t index = shard.attempt_free;
+    shard.attempt_free = shard.attempts[index].next_free;
+    shard.attempts[index].replies.clear();  // capacity kept
+    return index;
+  }
+  shard.attempts.emplace_back();
+  return static_cast<std::uint32_t>(shard.attempts.size() - 1);
+}
+
+void ShardedSystem::release_attempt(Shard& shard, std::uint32_t index) {
+  shard.attempts[index].next_free = shard.attempt_free;
+  shard.attempt_free = index;
+}
+
+// ---------------------------------------------------------------------------
+// Messaging
+// ---------------------------------------------------------------------------
+
+void ShardedSystem::send(Shard& shard, LocalPeer& from, core::PeerId to, Msg msg) {
+  ++shard.sent;
+  // Sender-side draws, in a fixed order: drop first, latency only if kept —
+  // all on the sender's private stream, so the draw sequence is a property
+  // of the peer's own trajectory, never of shard layout.
+  if (config_.loss > 0.0 && from.rng.bernoulli(config_.loss)) {
+    ++shard.dropped;
+    return;
+  }
+  const util::SimTime now = shard.sim.now();
+  const util::SimTime latency =
+      config_.latency.sample(from.cls, class_of(to), from.rng);
+  Envelope envelope;
+  envelope.from = global_id(shard.index, static_cast<std::uint32_t>(&from - shard.peers.data()));
+  envelope.to = to;
+  envelope.sent_at = now;
+  envelope.deliver_at = now + latency;
+  envelope.seq = from.send_seq++;
+  envelope.payload = msg;
+  router_.send(shard.index, std::move(envelope));
+}
+
+void ShardedSystem::on_deliver(Shard& shard, const Envelope& envelope) {
+  // Deadline-check-on-drain: every requester deadline due at or before
+  // this tick fires before any same-tick delivery, so a grant arriving
+  // exactly at its deadline tick is deterministically late for every
+  // partitioning (docs/sharding.md).
+  shard.deadlines.poll();
+  ++shard.delivered;
+  LocalPeer& to = shard.peers[local_index(envelope.to)];
+  const Msg& msg = envelope.payload;
+  switch (msg.kind) {
+    case MsgKind::kProbe:
+      on_probe(shard, to, envelope);
+      return;
+    case MsgKind::kGrant:
+      on_grant(shard, to, envelope);
+      return;
+    case MsgKind::kCommit:
+      purge_supplier(shard, to, shard.sim.now());
+      if (to.status == SupplierStatus::kHeld && to.held_session == msg.session) {
+        to.status = SupplierStatus::kCommitted;
+        // Self-recovery if the teardown is lost: a session cannot engage a
+        // supplier for much longer than the show time plus control slack.
+        to.hold_expiry = shard.sim.now() + config_.session_duration +
+                         4 * config_.hold_timeout;
+      }
+      // Else: the hold expired (or was re-granted) before the commit
+      // landed — the requester counts a supplier it does not have, the
+      // same documented race as the async engine's, only under loss.
+      return;
+    case MsgKind::kRelease:
+      purge_supplier(shard, to, shard.sim.now());
+      if (to.status == SupplierStatus::kHeld && to.held_session == msg.session) {
+        to.status = SupplierStatus::kFree;
+      }
+      return;
+    case MsgKind::kEnd:
+      purge_supplier(shard, to, shard.sim.now());
+      if (to.status == SupplierStatus::kCommitted &&
+          to.held_session == msg.session) {
+        to.status = SupplierStatus::kFree;
+      }
+      return;
+  }
+  P2PS_CHECK_MSG(false, "unreachable message kind");
+}
+
+void ShardedSystem::purge_supplier(Shard& shard, LocalPeer& peer, util::SimTime now) {
+  if (peer.status == SupplierStatus::kHeld && peer.hold_expiry <= now) {
+    peer.status = SupplierStatus::kFree;
+    ++shard.hold_expirations;
+  } else if (peer.status == SupplierStatus::kCommitted && peer.hold_expiry <= now) {
+    peer.status = SupplierStatus::kFree;
+    ++shard.watchdog_recoveries;
+  }
+}
+
+void ShardedSystem::on_probe(Shard& shard, LocalPeer& to, const Envelope& envelope) {
+  P2PS_CHECK_MSG(to.status != SupplierStatus::kNone,
+                 "probe delivered to a peer the directory never listed");
+  purge_supplier(shard, to, shard.sim.now());
+  if (to.status != SupplierStatus::kFree) return;  // silent busy
+  to.status = SupplierStatus::kHeld;
+  to.held_session = envelope.payload.session;
+  to.hold_expiry = shard.sim.now() + config_.hold_timeout;
+  send(shard, to, envelope.from,
+       Msg{MsgKind::kGrant, to.cls, envelope.payload.session});
+}
+
+void ShardedSystem::on_grant(Shard& shard, LocalPeer& to, const Envelope& envelope) {
+  if (to.attempt == kNoAttempt) return;  // concluded — deterministically late
+  Attempt& attempt = shard.attempts[to.attempt];
+  if (attempt.session != envelope.payload.session) return;  // stale attempt
+  attempt.replies.push_back(Reply{envelope.from, envelope.payload.cls});
+  if (attempt.replies.size() == attempt.probed) {
+    conclude_attempt(shard, attempt.peer_local);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Requester lifecycle
+// ---------------------------------------------------------------------------
+
+void ShardedSystem::first_request(Shard& shard, std::uint32_t local) {
+  LocalPeer& p = shard.peers[local];
+  p.first_request_time = shard.sim.now();
+  ++shard.totals[static_cast<std::size_t>(p.cls - 1)].first_requests;
+  start_attempt(shard, local);
+}
+
+void ShardedSystem::start_attempt(Shard& shard, std::uint32_t local) {
+  LocalPeer& p = shard.peers[local];
+  P2PS_CHECK(!p.admitted && p.attempt == kNoAttempt &&
+             p.status == SupplierStatus::kNone);
+  ++p.attempt_epoch;
+  P2PS_CHECK_MSG(p.attempt_epoch < (1u << 20), "attempt epoch overflow");
+  ++shard.totals[static_cast<std::size_t>(p.cls - 1)].attempts;
+
+  const util::SimTime now = shard.sim.now();
+  const core::PeerId self = global_id(shard.index, local);
+  const std::uint64_t session =
+      (self.value() << 20) | static_cast<std::uint64_t>(p.attempt_epoch);
+
+  // Candidate lookup against the visible prefix of the global directory
+  // (joins become visible one lookahead window after they happen), sampled
+  // with the requester's own stream.
+  const std::size_t visible = directory_.visible_count(shard.index, now);
+  const std::size_t m = std::min(config_.protocol.m_candidates, visible);
+  if (m == 0) {
+    // No supplier is visible yet (cannot happen once seeds are registered,
+    // but stay total): an immediate rejection with normal backoff.
+    ++shard.totals[static_cast<std::size_t>(p.cls - 1)].rejections;
+    ++p.attempt_epoch;
+    shard.retries.schedule(p.backoff.on_rejected(), self);
+    return;
+  }
+  p.rng.sample_indices_into(shard.indices_scratch, visible, m);
+
+  const std::uint32_t index = acquire_attempt(shard);
+  Attempt& attempt = shard.attempts[index];
+  attempt.session = session;
+  attempt.peer_local = local;
+  attempt.probed = static_cast<std::uint32_t>(m);
+  p.attempt = index;
+  for (const std::size_t candidate : shard.indices_scratch) {
+    send(shard, p, directory_.at(candidate).peer,
+         Msg{MsgKind::kProbe, p.cls, session});
+  }
+  shard.deadlines.schedule(now + config_.response_timeout,
+                           Deadline{local, p.attempt_epoch});
+}
+
+void ShardedSystem::conclude_attempt(Shard& shard, std::uint32_t local) {
+  LocalPeer& p = shard.peers[local];
+  const std::uint32_t index = p.attempt;
+  Attempt& attempt = shard.attempts[index];
+  const util::SimTime now = shard.sim.now();
+  const core::PeerId self = global_id(shard.index, local);
+  auto& totals = shard.totals[static_cast<std::size_t>(p.cls - 1)];
+
+  shard.classes_scratch.clear();
+  for (const Reply& reply : attempt.replies) {
+    shard.classes_scratch.push_back(reply.cls);
+  }
+  const core::SelectionContext context{p.cls, &p.rng};
+  config_.selection_policy->select_into(shard.selection, shard.classes_scratch,
+                                        core::Bandwidth::playback_rate(), context);
+
+  if (shard.selection.success()) {
+    p.admitted = true;
+    ++shard.sessions_active;
+    ++totals.admissions;
+    totals.rejections_at_admission_sum += p.backoff.rejections();
+    totals.waiting_ms_sum += (now - p.first_request_time).as_millis();
+
+    SessionEnd end;
+    end.peer_local = local;
+    end.session = attempt.session;
+    end.suppliers.reserve(shard.selection.chosen.size());
+    // Commit the chosen suppliers and release the rest, in reply order —
+    // the canonical delivery order, identical for every partitioning.
+    for (std::size_t r = 0; r < attempt.replies.size(); ++r) {
+      const bool chosen = std::find(shard.selection.chosen.begin(),
+                                    shard.selection.chosen.end(),
+                                    r) != shard.selection.chosen.end();
+      send(shard, p, attempt.replies[r].from,
+           Msg{chosen ? MsgKind::kCommit : MsgKind::kRelease, p.cls,
+               attempt.session});
+      if (chosen) end.suppliers.push_back(attempt.replies[r].from);
+    }
+    // Theorem-1 buffering delay of the chosen classes (OTS assignment).
+    shard.classes_scratch.clear();
+    for (const std::size_t r : shard.selection.chosen) {
+      shard.classes_scratch.push_back(attempt.replies[r].cls);
+    }
+    totals.delay_dt_sum +=
+        core::ots_assignment(shard.classes_scratch).min_buffering_delay_dt();
+    shard.ends.schedule(now + config_.session_duration, std::move(end));
+  } else {
+    ++totals.rejections;
+    for (const Reply& reply : attempt.replies) {
+      send(shard, p, reply.from,
+           Msg{MsgKind::kRelease, p.cls, attempt.session});
+    }
+    shard.retries.schedule(p.backoff.on_rejected(), self);
+  }
+
+  p.attempt = kNoAttempt;
+  ++p.attempt_epoch;  // parks any pending deadline as stale
+  release_attempt(shard, index);
+}
+
+void ShardedSystem::finish_session(Shard& shard, SessionEnd&& end) {
+  LocalPeer& p = shard.peers[end.peer_local];
+  // Teardown: one EndSession per supplier (loss is survivable — every
+  // committed supplier also runs a lazy session watchdog).
+  for (const core::PeerId supplier : end.suppliers) {
+    send(shard, p, supplier, Msg{MsgKind::kEnd, p.cls, end.session});
+  }
+  --shard.sessions_active;
+  ++shard.sessions_completed;
+  make_supplier(shard, end.peer_local);
+}
+
+void ShardedSystem::make_supplier(Shard& shard, std::uint32_t local) {
+  LocalPeer& p = shard.peers[local];
+  P2PS_CHECK(p.status == SupplierStatus::kNone);
+  p.status = SupplierStatus::kFree;
+  shard.capacity_units += core::Bandwidth::class_offer(p.cls).units();
+  ++shard.suppliers;
+  // Probe-visible exactly one lookahead window from now: late enough that
+  // no query in the current window can see it (partition-independence),
+  // as tight as the conservative protocol allows.
+  join_buffers_[static_cast<std::size_t>(shard.index)].push_back(
+      Directory::Entry{shard.sim.now() + lookahead_,
+                       global_id(shard.index, local), p.cls});
+}
+
+void ShardedSystem::take_sample(Shard& shard, util::SimTime t) {
+  // Deterministic tie rule: session ends due at or before the sample tick
+  // finish before the sample reads capacity/active counts.
+  shard.ends.poll();
+  shard.samples.push_back(ShardedSample{t, shard.capacity_units,
+                                        shard.sessions_active, shard.suppliers});
+}
+
+// ---------------------------------------------------------------------------
+// Run
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Arms shard-strided lazy arrivals: one in-flight event per shard walks
+/// the global schedule with stride = shard count (re-arm before invoke,
+/// the ArrivalSource ordering argument).
+void arm_arrival(const workload::ArrivalSchedule& schedule, sim::Simulator& sim,
+                 std::int64_t& next, int stride,
+                 const std::function<void(std::int64_t)>& on_arrival) {
+  if (next >= schedule.total()) return;
+  sim.schedule_at(schedule.arrival_at(next),
+                  [&schedule, &sim, &next, stride, &on_arrival] {
+                    const std::int64_t index = next;
+                    next += stride;
+                    arm_arrival(schedule, sim, next, stride, on_arrival);
+                    on_arrival(index);
+                  });
+}
+
+}  // namespace
+
+ShardedResult ShardedSystem::run() {
+  P2PS_REQUIRE_MSG(!ran_, "run() may be called only once");
+  ran_ = true;
+
+  // Seeds supply from t = 0 and are immediately probe-visible.
+  for (std::int64_t s = 0; s < config_.population.seeds; ++s) {
+    const core::PeerId peer{static_cast<std::uint64_t>(s)};
+    Shard& shard = *shards_[static_cast<std::size_t>(shard_of(peer))];
+    LocalPeer& p = shard.peers[local_index(peer)];
+    p.status = SupplierStatus::kFree;
+    shard.capacity_units += core::Bandwidth::class_offer(p.cls).units();
+    ++shard.suppliers;
+    directory_.enqueue(util::SimTime::zero(), peer, p.cls);
+  }
+
+  // Per-shard lazy arrival walkers and hourly samplers.
+  std::vector<std::function<void(std::int64_t)>> on_arrivals;
+  on_arrivals.reserve(shards_.size());
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    on_arrivals.push_back([this, &shard](std::int64_t index) {
+      const core::PeerId peer{
+          static_cast<std::uint64_t>(config_.population.seeds + index)};
+      first_request(shard, local_index(peer));
+    });
+    arm_arrival(arrivals_, shard.sim, shard.next_arrival, config_.shards,
+                on_arrivals.back());
+    take_sample(shard, util::SimTime::zero());
+    shard.sampler = std::make_unique<sim::Periodic>(
+        shard.sim, config_.sample_interval, config_.sample_interval,
+        [this, &shard](util::SimTime t) { take_sample(shard, t); });
+  }
+
+  sim::ShardRunner runner(config_.shards, lookahead_, config_.threads);
+  sim::ShardRunner::Callbacks callbacks;
+  callbacks.next_event_time = [this](int shard) {
+    return shards_[static_cast<std::size_t>(shard)]->sim.next_event_time();
+  };
+  callbacks.at_window_start = [this](util::SimTime window_end) {
+    directory_.flush_due(window_end);
+  };
+  callbacks.run_to = [this](int shard, util::SimTime t) {
+    shards_[static_cast<std::size_t>(shard)]->sim.run_until(t);
+  };
+  callbacks.at_barrier = [this](util::SimTime) {
+    router_.exchange();
+    for (auto& joins : join_buffers_) {
+      for (const Directory::Entry& join : joins) {
+        directory_.enqueue(join.visible, join.peer, join.cls);
+      }
+      joins.clear();  // capacity kept
+    }
+  };
+  runner.run(config_.horizon, callbacks);
+
+  for (auto& shard_ptr : shards_) shard_ptr->sampler->stop();
+
+  // Merge: integer sums only; every mean/rate is derived (once) by the
+  // report layer from the merged sums.
+  ShardedResult result;
+  result.num_classes = config_.protocol.num_classes;
+  result.totals.resize(static_cast<std::size_t>(config_.protocol.num_classes));
+  const std::size_t sample_count = shards_.front()->samples.size();
+  result.hourly.resize(sample_count);
+  std::int64_t capacity_units = 0;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    for (std::size_t c = 0; c < result.totals.size(); ++c) {
+      result.totals[c] += shard.totals[c];
+    }
+    P2PS_CHECK_MSG(shard.samples.size() == sample_count,
+                   "shards disagree on the sample grid");
+    for (std::size_t i = 0; i < sample_count; ++i) {
+      P2PS_CHECK(result.hourly[i].t == util::SimTime::zero() ||
+                 result.hourly[i].t == shard.samples[i].t);
+      result.hourly[i].t = shard.samples[i].t;
+      result.hourly[i].capacity_units += shard.samples[i].capacity_units;
+      result.hourly[i].active_sessions += shard.samples[i].active_sessions;
+      result.hourly[i].suppliers += shard.samples[i].suppliers;
+    }
+    capacity_units += shard.capacity_units;
+    result.suppliers_at_end += shard.suppliers;
+    result.sessions_completed += shard.sessions_completed;
+    result.sessions_active_at_end += shard.sessions_active;
+    result.hold_expirations += shard.hold_expirations;
+    result.watchdog_recoveries += shard.watchdog_recoveries;
+    result.messages_sent += shard.sent;
+    result.messages_dropped += shard.dropped;
+    result.messages_delivered += shard.delivered;
+    result.per_shard.push_back(ShardMechanics{
+        shard.sim.executed_count(),
+        static_cast<std::int64_t>(shard.sim.peak_pending_count()), shard.sent});
+  }
+  for (const auto& totals : result.totals) result.overall += totals;
+  result.final_capacity =
+      core::capacity(core::Bandwidth::from_units(capacity_units));
+  result.max_capacity = workload::max_possible_capacity(config_.population);
+  result.cross_shard_messages = router_.cross_shard_total();
+  result.windows = runner.windows();
+  result.peak_rss_bytes = process_peak_rss_bytes();
+  return result;
+}
+
+}  // namespace p2ps::engine

@@ -1,0 +1,319 @@
+// Sharded conservative-parallel message-level engine.
+//
+// The road to the ROADMAP's millions-of-peers north star: the peer space
+// is partitioned round-robin across N shards, each owning a whole
+// sim::Simulator (event list, per-shard lazy sources, per-shard metric
+// sums), stepping in lockstep lookahead windows under sim::ShardRunner
+// with cross-shard control messages batched through net::ShardRouter.
+//
+// Determinism bar (the repo's standing invariant, one level up): merged
+// output is byte-identical for ANY shard count — including shards=1 — and
+// any thread count. docs/sharding.md carries the full argument; the load-
+// bearing rules are:
+//   * every random draw comes from a per-peer substream
+//     (master.substream("peer", id)), never from an execution-order-shared
+//     stream;
+//   * same-tick deliveries drain in the canonical (to, sent_at, from, seq)
+//     order; requester deadlines fire before same-tick deliveries
+//     (deadline-check-on-drain), so a grant arriving exactly at the
+//     deadline tick is deterministically late;
+//   * supplier joins become probe-visible exactly one lookahead window
+//     after they happen, through a globally-ordered (visible tick, peer)
+//     directory flushed at barriers — so visibility never depends on which
+//     shard ran first;
+//   * merged statistics are integer sums only (bandwidth units, millisecond
+//     sums, counts); every mean/rate is derived once after the merge, so
+//     floating-point non-associativity cannot leak shard structure.
+//
+// Protocol: a documented message-level subset of DAC_p2p ("DAC-lite") —
+// Probe / Grant / Commit / Release / EndSession with silent-busy
+// suppliers, single-session holds, lazy hold expiry and lazy session
+// watchdogs (deadline-check-on-probe; no TimerService — the sharded engine
+// has no timer population at all). Deliberate deviations from the
+// AsyncStreamingSystem (class differentiation state machines, reminders,
+// idle elevation) are listed in docs/sharding.md; the paper's economics —
+// classed offers, exact-cover admission at R0, Theorem-1 buffering delay,
+// exponential backoff, capacity self-amplification — are all retained.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/admission/requester.hpp"
+#include "core/bandwidth.hpp"
+#include "core/ids.hpp"
+#include "core/selection.hpp"
+#include "core/selection_policy.hpp"
+#include "engine/config.hpp"
+#include "engine/retry_source.hpp"
+#include "engine/session_end_calendar.hpp"
+#include "net/latency.hpp"
+#include "net/shard_router.hpp"
+#include "sim/event_list.hpp"
+#include "sim/shard_runner.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "workload/arrival_pattern.hpp"
+#include "workload/population.hpp"
+
+namespace p2ps::engine {
+
+struct ShardedConfig {
+  ProtocolParams protocol;
+  workload::PopulationConfig population;
+
+  workload::ArrivalPattern pattern = workload::ArrivalPattern::kConstant;
+  util::SimTime arrival_window = util::SimTime::hours(12);
+  util::SimTime horizon = util::SimTime::hours(24);
+  util::SimTime session_duration = util::SimTime::minutes(60);
+
+  /// Latency model; its min_latency() is the conservative lookahead (the
+  /// shard window width), its max_latency() bounds the timeouts below.
+  net::LatencyModel latency;
+  /// Per-message drop probability (sender-side draw).
+  double loss = 0.0;
+
+  /// Requester-side probe-response timeout. Must exceed max_latency() so a
+  /// deadline can never fire while an on-time reply is still in flight.
+  util::SimTime response_timeout = util::SimTime::seconds(5);
+  /// Supplier-side grant-hold timeout. Must cover response_timeout plus a
+  /// grant+commit round trip, so an accepted commit can never race its own
+  /// grant's expiry.
+  util::SimTime hold_timeout = util::SimTime::seconds(15);
+
+  /// Peer shards (>= 1). Output is byte-identical for every value.
+  int shards = 1;
+  /// Worker threads (clamped to [1, shards]); wall-clock only.
+  int threads = 1;
+
+  sim::EventListKind event_list = sim::EventListKind::kBinaryHeap;
+  std::uint64_t seed = 2002;
+  util::SimTime sample_interval = util::SimTime::hours(1);
+  const core::SelectionPolicy* selection_policy = &core::paper_dac_policy();
+
+  void validate() const;
+};
+
+/// Per-class end-of-run sums. Integer-only by design: shard totals merge
+/// by field-wise addition, and every derived mean/rate is computed once
+/// from the merged sums (see file header).
+struct ShardedClassTotals {
+  std::int64_t first_requests = 0;
+  std::int64_t attempts = 0;
+  std::int64_t admissions = 0;
+  std::int64_t rejections = 0;
+  /// Over admissions: Theorem-1 buffering delay, total backoff rejections
+  /// endured, and arrival->admission waiting time.
+  std::int64_t delay_dt_sum = 0;
+  std::int64_t rejections_at_admission_sum = 0;
+  std::int64_t waiting_ms_sum = 0;
+
+  ShardedClassTotals& operator+=(const ShardedClassTotals& other);
+};
+
+/// One merged hourly snapshot. Capacity is carried as exact bandwidth
+/// units and floored to whole-stream capacity only in the report.
+struct ShardedSample {
+  util::SimTime t;
+  std::int64_t capacity_units = 0;
+  std::int64_t active_sessions = 0;
+  std::int64_t suppliers = 0;
+};
+
+/// Per-shard event-core mechanics (run-shape diagnostics, not workload
+/// results — scenario payloads emit these only behind --mechanics).
+struct ShardMechanics {
+  std::uint64_t events_executed = 0;
+  std::int64_t peak_event_list = 0;
+  std::uint64_t messages_sent = 0;
+};
+
+struct ShardedResult {
+  core::PeerClass num_classes = 4;
+  std::vector<ShardedClassTotals> totals;  ///< per class (index = class-1)
+  ShardedClassTotals overall;
+  std::vector<ShardedSample> hourly;
+
+  std::int64_t final_capacity = 0;
+  std::int64_t max_capacity = 0;
+  std::int64_t suppliers_at_end = 0;
+  std::int64_t sessions_completed = 0;
+  std::int64_t sessions_active_at_end = 0;
+  std::int64_t hold_expirations = 0;
+  std::int64_t watchdog_recoveries = 0;
+
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+
+  /// Partition-dependent diagnostics (mechanics-only in payloads).
+  std::uint64_t cross_shard_messages = 0;
+  std::int64_t windows = 0;
+  std::vector<ShardMechanics> per_shard;
+  std::int64_t peak_rss_bytes = 0;
+};
+
+class ShardedSystem {
+ public:
+  explicit ShardedSystem(ShardedConfig config);
+  ~ShardedSystem();
+  ShardedSystem(const ShardedSystem&) = delete;
+  ShardedSystem& operator=(const ShardedSystem&) = delete;
+
+  /// Runs to the horizon; may be called once.
+  ShardedResult run();
+
+  [[nodiscard]] const ShardedConfig& config() const { return config_; }
+
+ private:
+  /// Cross-shard control message. One byte of kind, the sender's class
+  /// where the receiver needs it (Probe: requester class for the latency
+  /// model; Grant: supplier class for selection), and the session id.
+  enum class MsgKind : std::uint8_t { kProbe, kGrant, kCommit, kRelease, kEnd };
+  struct Msg {
+    MsgKind kind = MsgKind::kProbe;
+    core::PeerClass cls = 0;
+    std::uint64_t session = 0;
+  };
+  using Router = net::ShardRouter<Msg>;
+  using Envelope = Router::Envelope;
+
+  enum class SupplierStatus : std::uint8_t { kNone, kFree, kHeld, kCommitted };
+
+  struct LocalPeer {
+    explicit LocalPeer(const ShardedConfig& config, util::Rng rng,
+                       core::PeerClass cls)
+        : rng(std::move(rng)),
+          backoff(config.protocol.t_bkf, config.protocol.e_bkf),
+          cls(cls) {}
+
+    util::Rng rng;  ///< the peer's whole random universe (partition-free)
+    core::RequesterBackoff backoff;
+    core::PeerClass cls;
+    std::uint64_t send_seq = 0;  ///< per-sender envelope counter
+    /// In-flight attempt slot in the shard pool, or kNoAttempt.
+    std::uint32_t attempt = kNoAttempt;
+    /// Bumped at every attempt start and conclusion; the low bits of the
+    /// session id and the staleness check for parked deadlines.
+    std::uint32_t attempt_epoch = 0;
+    util::SimTime first_request_time = util::SimTime::zero();
+    bool admitted = false;
+    // Supplier side (single-session hold, lazily expired).
+    SupplierStatus status = SupplierStatus::kNone;
+    std::uint64_t held_session = 0;
+    util::SimTime hold_expiry = util::SimTime::zero();
+  };
+
+  struct Reply {
+    core::PeerId from;
+    core::PeerClass cls;
+  };
+
+  /// One in-flight admission attempt (pooled per shard).
+  struct Attempt {
+    std::uint64_t session = 0;
+    std::uint32_t peer_local = 0;  ///< owner's local index
+    std::uint32_t probed = 0;      ///< probes sent (incl. dropped)
+    std::vector<Reply> replies;    ///< grants, in canonical arrival order
+    std::uint32_t next_free = kNoAttempt;
+  };
+
+  /// Requester deadline parked on the per-shard monotone calendar.
+  struct Deadline {
+    std::uint32_t peer_local = 0;
+    std::uint32_t epoch = 0;  ///< stale when != peer's attempt_epoch
+  };
+
+  /// One finished session pending teardown on the end calendar.
+  struct SessionEnd {
+    std::uint32_t peer_local = 0;
+    std::uint64_t session = 0;
+    std::vector<core::PeerId> suppliers;
+  };
+
+  /// Globally-shared supplier directory with barrier-published joins.
+  /// Entries are totally ordered by (visible tick, peer); each shard walks
+  /// its own monotone cursor over the flushed prefix during a window, so
+  /// reads are lock-free and identical for every partitioning.
+  class Directory {
+   public:
+    struct Entry {
+      util::SimTime visible;
+      core::PeerId peer;
+      core::PeerClass cls;
+    };
+
+    explicit Directory(int num_shards)
+        : cursors_(static_cast<std::size_t>(num_shards), 0) {}
+
+    /// Coordinator-only: parks a join that becomes visible at `visible`.
+    void enqueue(util::SimTime visible, core::PeerId peer, core::PeerClass cls);
+    /// Coordinator-only, at window start: publishes every parked join
+    /// visible at or before `through` into the flushed prefix.
+    void flush_due(util::SimTime through);
+    /// Shard-local: entries visible at or before `at` (monotone per shard).
+    std::size_t visible_count(int shard, util::SimTime at);
+    [[nodiscard]] const Entry& at(std::size_t index) const {
+      return flushed_[index];
+    }
+
+   private:
+    struct Later {
+      bool operator()(const Entry& a, const Entry& b) const {
+        if (a.visible != b.visible) return a.visible > b.visible;
+        return a.peer.value() > b.peer.value();
+      }
+    };
+    std::vector<Entry> flushed_;  ///< sorted by (visible, peer), append-only
+    std::vector<Entry> pending_heap_;  ///< std::push_heap with Later
+    std::vector<std::size_t> cursors_;
+  };
+
+  struct Shard;  // defined in the .cpp (holds Simulator + lazy sources)
+
+  [[nodiscard]] int shard_of(core::PeerId peer) const;
+  [[nodiscard]] core::PeerClass class_of(core::PeerId peer) const;
+  [[nodiscard]] core::PeerId global_id(int shard, std::uint32_t local) const;
+  [[nodiscard]] std::uint32_t local_index(core::PeerId peer) const;
+
+  void send(Shard& shard, LocalPeer& from, core::PeerId to, Msg msg);
+  void first_request(Shard& shard, std::uint32_t local);
+  void start_attempt(Shard& shard, std::uint32_t local);
+  void conclude_attempt(Shard& shard, std::uint32_t local);
+  void on_deliver(Shard& shard, const Envelope& envelope);
+  void on_probe(Shard& shard, LocalPeer& to, const Envelope& envelope);
+  void on_grant(Shard& shard, LocalPeer& to, const Envelope& envelope);
+  void finish_session(Shard& shard, SessionEnd&& end);
+  void make_supplier(Shard& shard, std::uint32_t local);
+  void take_sample(Shard& shard, util::SimTime t);
+  /// Lazily expires an overdue hold/watchdog before reading supplier state.
+  void purge_supplier(Shard& shard, LocalPeer& peer, util::SimTime now);
+
+  std::uint32_t acquire_attempt(Shard& shard);
+  void release_attempt(Shard& shard, std::uint32_t index);
+
+  static constexpr std::uint32_t kNoAttempt = 0xFFFFFFFFu;
+
+  ShardedConfig config_;
+  util::SimTime lookahead_;
+  /// Global immutable class map: classes are drawn once from the master
+  /// seed's "population" substream, before sharding — identical for every
+  /// shard count.
+  std::vector<core::PeerClass> requester_classes_;
+  workload::ArrivalSchedule arrivals_;
+  Router router_;
+  Directory directory_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Joins produced during the current window, one row per shard, moved
+  /// into the directory at the barrier by the coordinator. (All selection
+  /// and sampling scratch lives inside each Shard — shards are
+  /// thread-confined during windows.)
+  std::vector<std::vector<Directory::Entry>> join_buffers_;
+  std::int64_t total_peers_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace p2ps::engine

@@ -107,6 +107,43 @@ struct LatencyModel {
     P2PS_REQUIRE(tail_cap >= median);
   }
 
+  /// Smallest latency any sample() can return — the conservative lookahead
+  /// of the sharded runner (docs/sharding.md): no message sent at t can be
+  /// delivered before t + min_latency(). kLogNormal's floor is the explicit
+  /// 1 ms clamp in sample().
+  [[nodiscard]] util::SimTime min_latency() const {
+    switch (kind) {
+      case LatencyModelKind::kFixed:
+        return fixed;
+      case LatencyModelKind::kUniform:
+        return min;
+      case LatencyModelKind::kTwoClass:
+        return 2 * std::min(ethernet_half, modem_half);
+      case LatencyModelKind::kLogNormal:
+        return util::SimTime::millis(1);
+    }
+    P2PS_CHECK_MSG(false, "unreachable latency model kind");
+    return util::SimTime::zero();
+  }
+
+  /// Largest latency any sample() can return. Bounded for every model
+  /// (kLogNormal by tail_cap) — what lets engines size hold timeouts so a
+  /// commit can never race its own grant's expiry.
+  [[nodiscard]] util::SimTime max_latency() const {
+    switch (kind) {
+      case LatencyModelKind::kFixed:
+        return fixed;
+      case LatencyModelKind::kUniform:
+        return max;
+      case LatencyModelKind::kTwoClass:
+        return 2 * std::max(ethernet_half, modem_half);
+      case LatencyModelKind::kLogNormal:
+        return tail_cap;
+    }
+    P2PS_CHECK_MSG(false, "unreachable latency model kind");
+    return util::SimTime::zero();
+  }
+
   /// Latency of one message. kUniform consumes one draw and kLogNormal two
   /// (Box–Muller); the other models are deterministic functions of the
   /// endpoints, which is what makes whole probe fan-outs land on one

@@ -1,0 +1,249 @@
+// Cross-shard envelope transport for the conservative-parallel runner.
+//
+// The MailboxRouter idea lifted one level up: instead of batching messages
+// per (destination peer, tick) inside one simulator, the ShardRouter
+// batches envelopes per (destination *shard*, delivery tick) across N
+// simulators stepping in lockstep windows (sim/shard_runner.hpp). Peers
+// are assigned round-robin — shard_of(p) = p mod N — so seed peers and
+// arrival indices spread evenly for every shard count.
+//
+// Determinism contract (docs/sharding.md carries the full argument):
+//   * Lookahead. Every envelope must satisfy deliver_at - sent_at >=
+//     `window` (the minimum latency of the active latency model). A send
+//     below the lookahead is a hard contract violation — it would have to
+//     be delivered inside the window that produced it, which the barrier
+//     protocol cannot do, so it aborts rather than silently reorders.
+//   * Canonical drain order. All envelopes delivered on one (shard, tick)
+//     drain through ONE pooled event, sorted by (to, sent_at, from, seq)
+//     with seq a per-*sender* counter. Every component of that key is a
+//     property of the traffic itself, never of the partitioning — unlike
+//     arrival order into the batch (local sends append at send time,
+//     remote sends at the next barrier), which is why the batch is sorted
+//     rather than drained FIFO. Merged output is therefore byte-identical
+//     for any shard count.
+//   * Windowed exchange. Cross-shard envelopes accumulate in per-(source,
+//     destination) outboxes during a window and move to the destination's
+//     delivery groups at the barrier, by the coordinator, while workers
+//     are parked — the only moment an envelope crosses a thread boundary.
+//
+// Thread-safety: during a window, shard s's engine may call send(s, ...)
+// from its own thread; that touches only shard s's outbox row and shard
+// s's own delivery groups (local sends). exchange() and bind() are
+// coordinator-only.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/sim_time.hpp"
+
+namespace p2ps::net {
+
+template <typename Payload>
+class ShardRouter {
+ public:
+  struct Envelope {
+    core::PeerId from;
+    core::PeerId to;
+    util::SimTime sent_at;     ///< send tick (source simulator's now)
+    util::SimTime deliver_at;  ///< sent_at + engine-sampled latency
+    std::uint64_t seq = 0;     ///< per-sender send counter (partition-free)
+    Payload payload;
+  };
+  using Handler = std::function<void(const Envelope&)>;
+
+  ShardRouter(int num_shards, util::SimTime window)
+      : num_shards_(num_shards), window_(window), ports_(static_cast<std::size_t>(num_shards)) {
+    P2PS_REQUIRE_MSG(num_shards_ >= 1, "ShardRouter needs at least one shard");
+    P2PS_REQUIRE_MSG(window_ >= util::SimTime::millis(1),
+                     "conservative lookahead must be at least one tick");
+    for (Port& port : ports_) {
+      port.outbox.resize(static_cast<std::size_t>(num_shards_));
+    }
+  }
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  [[nodiscard]] int num_shards() const { return num_shards_; }
+  [[nodiscard]] util::SimTime window() const { return window_; }
+
+  /// Round-robin peer ownership: seeds (ids 0..S-1) and arrival indices
+  /// spread evenly across shards for every shard count.
+  [[nodiscard]] int shard_of(core::PeerId peer) const {
+    return static_cast<int>(peer.value() % static_cast<std::uint64_t>(num_shards_));
+  }
+
+  /// Attaches shard `shard`'s simulator and delivery handler. Must be
+  /// called exactly once per shard, before any send.
+  void bind(int shard, sim::Simulator& simulator, Handler on_deliver) {
+    Port& port = port_at(shard);
+    P2PS_REQUIRE_MSG(port.simulator == nullptr, "shard bound twice");
+    P2PS_REQUIRE(on_deliver != nullptr);
+    port.simulator = &simulator;
+    port.on_deliver = std::move(on_deliver);
+  }
+
+  /// Sends one envelope from shard `from_shard` (which must own
+  /// envelope.from and whose simulator's now() must equal sent_at).
+  /// Local deliveries join the source shard's own groups immediately;
+  /// cross-shard deliveries park in the outbox until the next exchange().
+  void send(int from_shard, Envelope envelope) {
+    Port& source = port_at(from_shard);
+    P2PS_REQUIRE_MSG(source.simulator != nullptr, "send before bind");
+    P2PS_CHECK_MSG(shard_of(envelope.from) == from_shard,
+                   "envelope sent from a shard that does not own the sender");
+    P2PS_CHECK_MSG(envelope.deliver_at >= envelope.sent_at + window_,
+                   "lookahead violation: message latency below the shard "
+                   "window width (see docs/sharding.md)");
+    ++sent_total_;
+    const int to_shard = shard_of(envelope.to);
+    if (to_shard == from_shard) {
+      enqueue(source, std::move(envelope));
+      return;
+    }
+    ++cross_shard_total_;
+    source.outbox[static_cast<std::size_t>(to_shard)].push_back(std::move(envelope));
+  }
+
+  /// Barrier step (coordinator-only, workers parked): moves every outbox
+  /// batch into its destination shard's delivery groups. Every
+  /// destination simulator must already sit at the barrier tick, which the
+  /// lookahead guarantees is strictly before any batched delivery.
+  void exchange() {
+    for (Port& source : ports_) {
+      for (int to_shard = 0; to_shard < num_shards_; ++to_shard) {
+        auto& batch = source.outbox[static_cast<std::size_t>(to_shard)];
+        if (batch.empty()) continue;
+        Port& destination = port_at(to_shard);
+        for (Envelope& envelope : batch) {
+          P2PS_CHECK_MSG(envelope.deliver_at > destination.simulator->now(),
+                         "cross-shard envelope due before the barrier tick");
+          enqueue(destination, std::move(envelope));
+        }
+        batch.clear();  // capacity kept — the outbox row is pooled
+      }
+    }
+  }
+
+  /// Total envelopes accepted / envelopes that crossed a shard boundary.
+  [[nodiscard]] std::uint64_t sent_total() const { return sent_total_; }
+  [[nodiscard]] std::uint64_t cross_shard_total() const { return cross_shard_total_; }
+
+  /// Delivery groups currently pending on one shard (tests/diagnostics).
+  [[nodiscard]] std::size_t pending_groups(int shard) const {
+    return port_at(shard).groups_by_tick.size();
+  }
+
+ private:
+  /// One per-(shard, tick) delivery batch behind one pooled drain event.
+  struct Group {
+    std::vector<Envelope> entries;
+    std::int64_t tick_ms = 0;
+    std::uint32_t next_free = kNoGroup;
+  };
+
+  struct Port {
+    sim::Simulator* simulator = nullptr;
+    Handler on_deliver;
+    /// Pending cross-shard envelopes, one row per destination shard.
+    std::vector<std::vector<Envelope>> outbox;
+    /// tick (ms) -> index into `groups` for not-yet-drained batches.
+    std::unordered_map<std::int64_t, std::uint32_t> groups_by_tick;
+    std::vector<Group> groups;
+    std::uint32_t free_head = kNoGroup;
+    /// One-entry cache: most sends hit the same delivery tick repeatedly
+    /// (fixed-latency fan-outs), skipping the hash probe.
+    std::int64_t last_tick_ms = -1;
+    std::uint32_t last_group = kNoGroup;
+    /// Drain scratch, swapped with a group's entries so reentrant sends
+    /// from handlers can grow `groups` safely mid-drain.
+    std::vector<Envelope> drain_scratch;
+  };
+
+  static constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;
+
+  Port& port_at(int shard) {
+    P2PS_REQUIRE(shard >= 0 && shard < num_shards_);
+    return ports_[static_cast<std::size_t>(shard)];
+  }
+  const Port& port_at(int shard) const {
+    P2PS_REQUIRE(shard >= 0 && shard < num_shards_);
+    return ports_[static_cast<std::size_t>(shard)];
+  }
+
+  void enqueue(Port& port, Envelope envelope) {
+    const std::int64_t tick_ms = envelope.deliver_at.as_millis();
+    std::uint32_t index;
+    if (port.last_tick_ms == tick_ms && port.last_group != kNoGroup) {
+      index = port.last_group;
+    } else if (const auto it = port.groups_by_tick.find(tick_ms);
+               it != port.groups_by_tick.end()) {
+      index = it->second;
+    } else {
+      index = acquire_group(port, tick_ms);
+      port.groups_by_tick.emplace(tick_ms, index);
+      const int port_index = static_cast<int>(&port - ports_.data());
+      port.simulator->schedule_at(
+          envelope.deliver_at,
+          [this, port_index, index] { drain(port_at(port_index), index); });
+    }
+    port.last_tick_ms = tick_ms;
+    port.last_group = index;
+    port.groups[index].entries.push_back(std::move(envelope));
+  }
+
+  std::uint32_t acquire_group(Port& port, std::int64_t tick_ms) {
+    std::uint32_t index;
+    if (port.free_head != kNoGroup) {
+      index = port.free_head;
+      port.free_head = port.groups[index].next_free;
+    } else {
+      P2PS_CHECK_MSG(port.groups.size() < kNoGroup, "delivery group pool exhausted");
+      port.groups.emplace_back();
+      index = static_cast<std::uint32_t>(port.groups.size() - 1);
+    }
+    port.groups[index].tick_ms = tick_ms;
+    return index;
+  }
+
+  void drain(Port& port, std::uint32_t index) {
+    Group& group = port.groups[index];
+    P2PS_CHECK(port.drain_scratch.empty());
+    port.drain_scratch.swap(group.entries);
+    port.groups_by_tick.erase(group.tick_ms);
+    if (port.last_group == index) {
+      port.last_tick_ms = -1;
+      port.last_group = kNoGroup;
+    }
+    group.next_free = port.free_head;
+    port.free_head = index;
+    // The canonical order: every key component is a property of the
+    // traffic, not of the partitioning (docs/sharding.md).
+    std::sort(port.drain_scratch.begin(), port.drain_scratch.end(),
+              [](const Envelope& a, const Envelope& b) {
+                if (a.to != b.to) return a.to.value() < b.to.value();
+                if (a.sent_at != b.sent_at) return a.sent_at < b.sent_at;
+                if (a.from != b.from) return a.from.value() < b.from.value();
+                return a.seq < b.seq;
+              });
+    for (const Envelope& envelope : port.drain_scratch) {
+      port.on_deliver(envelope);
+    }
+    port.drain_scratch.clear();  // capacity kept — the scratch is pooled
+  }
+
+  int num_shards_;
+  util::SimTime window_;
+  std::vector<Port> ports_;
+  std::uint64_t sent_total_ = 0;
+  std::uint64_t cross_shard_total_ = 0;
+};
+
+}  // namespace p2ps::net

@@ -180,6 +180,10 @@ Json perf_messages(const ScenarioOptions& options) {
   out.set("peak_event_list_timers", result.peak_event_list_timers);
   out.set("peak_event_list_other",
           result.peak_event_list - result.peak_event_list_timers);
+  // Machine-dependent, so only behind --mechanics.
+  if (options.mechanics) {
+    out.set("peak_rss_bytes", engine::process_peak_rss_bytes());
+  }
   out.set("admissions", result.overall.admissions);
   out.set("rejections", result.overall.rejections);
   out.set("sessions_completed", result.sessions_completed);

@@ -9,6 +9,10 @@
 //            [--loss P]                  message drop probability [0, 1]
 //            [--transport batched|unbatched]    mailbox delivery mode
 //            [--policy NAME]             supplier-selection policy
+//            [--shards N]                shard count for sharded_* scenarios
+//            [--shard-threads N]         sharded worker threads (wall-clock only)
+//            [--mechanics]               emit run mechanics (per-shard event
+//                                        counts, windows, peak RSS)
 //            [--out FILE]                also write the JSON to FILE
 //            [--compact]                 single-line JSON (default: pretty)
 //   p2ps_run --sweep <scenario...>       parameter study: run the cross
@@ -69,6 +73,7 @@ int usage(const std::string& program) {
                " [--timers wheel|lazy|events]"
                " [--latency fixed|uniform|twoclass|lognormal] [--loss P]"
                " [--transport batched|unbatched] [--policy NAME]"
+               " [--shards N] [--shard-threads N] [--mechanics]"
                " [--out FILE] [--compact]\n"
             << "       " << program
             << " --sweep <scenario...> [--scenarios a,b] [--seeds N,M]"
@@ -146,6 +151,22 @@ std::optional<double> parse_loss(std::string_view flag, const std::string& token
   return out;
 }
 
+/// Parses one positive integer token of --shards/--shard-threads; reports
+/// a descriptive CLI error on junk, zero or negative input.
+std::optional<int> parse_positive_int(std::string_view flag,
+                                      const std::string& token) {
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  if (ec != std::errc{} || ptr != token.data() + token.size() || out < 1 ||
+      out > 1'000'000) {
+    std::cerr << "error: --" << flag << " needs a positive integer, got '"
+              << token << "'\n";
+    return std::nullopt;
+  }
+  return static_cast<int>(out);
+}
+
 /// Parses one non-negative integer token of a CSV axis flag; reports a
 /// descriptive CLI error (matching the binary's other flag diagnostics)
 /// on junk or negative input instead of dying on a raw stoll.
@@ -168,7 +189,7 @@ std::optional<std::int64_t> parse_axis_int(std::string_view axis,
 /// placed before a scenario name would swallow it ("p2ps_run --compact
 /// fig1", "p2ps_run --sweep fig5 fig8").
 constexpr std::string_view kBooleanFlags[] = {"list", "help", "compact",
-                                              "sweep"};
+                                              "sweep", "mechanics"};
 
 bool is_boolean_flag(std::string_view name) {
   for (const std::string_view flag : kBooleanFlags) {
@@ -383,6 +404,21 @@ int main(int argc, char** argv) {
         if (policy == nullptr) return 2;
         options.policy = policy;
       }
+
+      // Sharded-engine knobs; non-sharded scenarios simply ignore them.
+      const std::string shards = flags.get_string("shards", "");
+      if (!shards.empty()) {
+        const auto value = parse_positive_int("shards", shards);
+        if (!value) return 2;
+        options.shards = *value;
+      }
+      const std::string shard_threads = flags.get_string("shard-threads", "");
+      if (!shard_threads.empty()) {
+        const auto value = parse_positive_int("shard-threads", shard_threads);
+        if (!value) return 2;
+        options.shard_threads = *value;
+      }
+      options.mechanics = bool_flag("mechanics");
 
       // Reject typos before the run — a paper-scale simulation is too
       // expensive to discard on one.

@@ -16,7 +16,8 @@ namespace {
 
 using util::SimTime;
 
-Json perf_payload(const engine::SimulationConfig& config,
+Json perf_payload(const ScenarioOptions& options,
+                  const engine::SimulationConfig& config,
                   const engine::SimulationResult& result) {
   Json out = Json::object();
   out.set("population",
@@ -26,6 +27,11 @@ Json perf_payload(const engine::SimulationConfig& config,
   out.set("peak_event_list_timers", result.peak_event_list_timers);
   out.set("peak_event_list_other",
           result.peak_event_list - result.peak_event_list_timers);
+  // Machine-dependent, so only behind --mechanics (keeps default payloads
+  // byte-comparable across runs, backends and machines).
+  if (options.mechanics) {
+    out.set("peak_rss_bytes", engine::process_peak_rss_bytes());
+  }
   out.set("sessions_completed", result.sessions_completed);
   out.set("admissions", result.overall.admissions);
   out.set("rejections", result.overall.rejections);
@@ -47,7 +53,7 @@ Json perf_steady(const ScenarioOptions& options) {
   scale_population(options, config);
 
   const auto result = engine::StreamingSystem(config).run();
-  return perf_payload(config, result);
+  return perf_payload(options, config, result);
 }
 
 // ---- Flash crowd: a demand spike against few seeds — maximal rejection/
@@ -63,7 +69,7 @@ Json perf_flash_crowd(const ScenarioOptions& options) {
   scale_population(options, config);
 
   const auto result = engine::StreamingSystem(config).run();
-  return perf_payload(config, result);
+  return perf_payload(options, config, result);
 }
 
 }  // namespace

@@ -50,6 +50,7 @@ void register_all_scenarios() {
   register_perf_scenarios(registry);
   register_message_scenarios(registry);
   register_study_scenarios(registry);
+  register_sharded_scenarios(registry);
 }
 
 Json run_scenario(std::string_view name, const ScenarioOptions& options) {
@@ -118,6 +119,7 @@ std::string strip_event_mechanics(std::string json_text) {
       "\"peak_event_list\":",
       "\"events_executed\":",
       "\"timer_events_scheduled\":",
+      "\"peak_rss_bytes\":",
   };
   std::string out;
   out.reserve(json_text.size());
@@ -172,6 +174,11 @@ Json result_to_json(const engine::SimulationResult& result, int series_step_hour
   out.set("peak_event_list_timers", result.peak_event_list_timers);
   out.set("peak_event_list_other",
           result.peak_event_list - result.peak_event_list_timers);
+  // Machine-dependent, populated only behind --mechanics (and stripped by
+  // strip_event_mechanics like the other event-core counters).
+  if (result.peak_rss_bytes > 0) {
+    out.set("peak_rss_bytes", result.peak_rss_bytes);
+  }
   out.set("overall", class_counters_to_json(result.overall));
   Json per_class = Json::array();
   for (const auto& counters : result.totals) {

@@ -60,6 +60,19 @@ struct ScenarioOptions {
   /// policy-lab scenarios echo the policy name inside their payloads where
   /// it is a real workload parameter.
   const core::SelectionPolicy* policy = nullptr;
+  /// Shard count for sharded_* scenarios (--shards); unset = each
+  /// scenario's own default. Byte-invisible by contract: a sharded
+  /// scenario's payload must be identical for EVERY shard count
+  /// (docs/sharding.md), so the value never appears outside --mechanics.
+  std::optional<int> shards;
+  /// Worker threads for sharded scenarios (--shard-threads); wall-clock
+  /// only, byte-invisible like the shard count.
+  int shard_threads = 1;
+  /// Emit run-mechanics diagnostics (--mechanics): per-shard event counts,
+  /// peak event lists, window/exchange counters, peak RSS. Off by default
+  /// because these are partition- and machine-dependent — with the flag
+  /// off, payloads stay byte-comparable across shard/thread counts.
+  bool mechanics = false;
 };
 
 using ScenarioFn = std::function<Json(const ScenarioOptions&)>;
@@ -138,5 +151,6 @@ void register_ablation_scenarios(Registry& registry);
 void register_perf_scenarios(Registry& registry);
 void register_message_scenarios(Registry& registry);
 void register_study_scenarios(Registry& registry);
+void register_sharded_scenarios(Registry& registry);
 
 }  // namespace p2ps::scenario

@@ -1,0 +1,120 @@
+#include "sim/shard_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace p2ps::sim {
+
+ShardRunner::ShardRunner(int num_shards, util::SimTime lookahead, int threads)
+    : num_shards_(num_shards),
+      lookahead_(lookahead),
+      threads_(std::clamp(threads, 1, num_shards)) {
+  P2PS_REQUIRE_MSG(num_shards_ >= 1, "ShardRunner needs at least one shard");
+  P2PS_REQUIRE_MSG(lookahead_ >= util::SimTime::millis(1),
+                   "conservative lookahead must be at least one tick");
+}
+
+namespace {
+
+/// Persistent worker pool for threads > 1: each worker owns the shard
+/// stripe {worker, worker + T, worker + 2T, ...} — a fixed assignment, so
+/// every shard is touched by exactly one thread for the whole run.
+class WindowPool {
+ public:
+  WindowPool(int num_shards, int threads, const ShardRunner::Callbacks& callbacks)
+      : num_shards_(num_shards),
+        threads_(threads),
+        callbacks_(callbacks),
+        start_(threads + 1),
+        finish_(threads + 1) {
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int worker = 0; worker < threads_; ++worker) {
+      workers_.emplace_back([this, worker] { worker_loop(worker); });
+    }
+  }
+
+  ~WindowPool() {
+    done_.store(true, std::memory_order_release);
+    start_.arrive_and_wait();  // release the workers into their exit check
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  /// Runs every shard to `t1` on the pool; returns when all are done.
+  void run_window(util::SimTime t1) {
+    window_end_ = t1;
+    start_.arrive_and_wait();
+    finish_.arrive_and_wait();
+  }
+
+ private:
+  void worker_loop(int worker) {
+    for (;;) {
+      start_.arrive_and_wait();
+      if (done_.load(std::memory_order_acquire)) return;
+      for (int shard = worker; shard < num_shards_; shard += threads_) {
+        callbacks_.run_to(shard, window_end_);
+      }
+      finish_.arrive_and_wait();
+    }
+  }
+
+  int num_shards_;
+  int threads_;
+  const ShardRunner::Callbacks& callbacks_;
+  std::barrier<> start_;
+  std::barrier<> finish_;
+  std::atomic<bool> done_{false};
+  util::SimTime window_end_ = util::SimTime::zero();
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+void ShardRunner::run(util::SimTime horizon, const Callbacks& callbacks) {
+  P2PS_REQUIRE_MSG(!ran_, "run() may be called only once");
+  ran_ = true;
+  P2PS_REQUIRE(callbacks.next_event_time != nullptr);
+  P2PS_REQUIRE(callbacks.run_to != nullptr);
+  P2PS_REQUIRE(callbacks.at_barrier != nullptr);
+  P2PS_REQUIRE(horizon >= util::SimTime::zero());
+
+  std::optional<WindowPool> pool;
+  if (threads_ > 1) pool.emplace(num_shards_, threads_, callbacks);
+  const auto run_window = [&](util::SimTime t1) {
+    if (callbacks.at_window_start) callbacks.at_window_start(t1);
+    if (pool) {
+      pool->run_window(t1);
+    } else {
+      for (int shard = 0; shard < num_shards_; ++shard) {
+        callbacks.run_to(shard, t1);
+      }
+    }
+    callbacks.at_barrier(t1);
+    ++windows_;
+  };
+
+  for (;;) {
+    std::optional<util::SimTime> min_next;
+    for (int shard = 0; shard < num_shards_; ++shard) {
+      const auto next = callbacks.next_event_time(shard);
+      if (next && (!min_next || *next < *min_next)) min_next = next;
+    }
+    if (!min_next || *min_next > horizon) {
+      // Nothing (left) inside the horizon: one final window parks every
+      // shard's clock exactly at the horizon for the end-of-run reads.
+      run_window(horizon);
+      return;
+    }
+    const util::SimTime t1 =
+        std::min(*min_next + lookahead_ - util::SimTime::millis(1), horizon);
+    run_window(t1);
+    if (t1 >= horizon) return;
+  }
+}
+
+}  // namespace p2ps::sim

@@ -1,0 +1,78 @@
+// Lockstep window driver for conservative-parallel sharded simulation.
+//
+// N shards — each a whole sim::Simulator with its own event population —
+// step together through half-open windows (t0, t1] whose end is
+//
+//     t1 = min(min_next + lookahead - 1, horizon)
+//
+// where min_next is the earliest pending event across all shards and
+// `lookahead` is the minimum cross-peer message latency (classic
+// conservative lookahead, Chandy–Misra style but with a global barrier
+// instead of null messages). The -1 is load-bearing: Simulator::run_until
+// is *inclusive* of its bound, and a message sent at the earliest possible
+// tick min_next arrives no sooner than min_next + lookahead — strictly
+// after t1 — so no envelope produced inside a window can be due inside it,
+// and the barrier exchange (net/shard_router.hpp) always schedules into
+// every destination shard's strict future. docs/sharding.md carries the
+// full argument.
+//
+// Idle windows are skipped entirely (min_next jumps the window forward),
+// so sparse phases cost one barrier per event cluster, not one per tick.
+//
+// Threading: `threads == 1` runs shards round-robin on the caller's
+// thread; `threads > 1` parks a persistent worker pool on a std::barrier
+// and hands each worker a fixed stripe of shards. Either way the schedule
+// of (window, shard) work is identical, shards are thread-confined during
+// windows, and the barrier callback runs on the coordinator alone — so
+// output is byte-identical for any thread count, and the thread knob only
+// changes wall-clock (the --sweep precedent; the build container has
+// nproc=1, so speedups are conditioned on core count).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "util/sim_time.hpp"
+
+namespace p2ps::sim {
+
+class ShardRunner {
+ public:
+  struct Callbacks {
+    /// Earliest pending event time on shard `s` (coordinator thread).
+    std::function<std::optional<util::SimTime>(int shard)> next_event_time;
+    /// Optional coordinator-only hook before each window's shards run,
+    /// with the window's end tick: publish state that must be visible to
+    /// every shard during the window (e.g. directory joins whose
+    /// visibility tick falls inside it).
+    std::function<void(util::SimTime window_end)> at_window_start;
+    /// Runs shard `s` to `t` inclusive (run_until semantics); the only
+    /// callback invoked off the coordinator thread, one shard per worker
+    /// at a time.
+    std::function<void(int shard, util::SimTime t)> run_to;
+    /// Barrier step at `window_end`, coordinator-only, after every shard
+    /// reached window_end: exchange envelopes, publish directory joins.
+    std::function<void(util::SimTime window_end)> at_barrier;
+  };
+
+  /// `lookahead` must be >= 1 ms (the tick granularity); `threads` is
+  /// clamped to [1, num_shards].
+  ShardRunner(int num_shards, util::SimTime lookahead, int threads = 1);
+
+  /// Steps every shard to `horizon` (inclusive, run_until semantics),
+  /// calling at_barrier after each window. May be called once.
+  void run(util::SimTime horizon, const Callbacks& callbacks);
+
+  /// Windows executed (= barriers passed) by run().
+  [[nodiscard]] std::int64_t windows() const { return windows_; }
+
+ private:
+  int num_shards_;
+  util::SimTime lookahead_;
+  int threads_;
+  std::int64_t windows_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace p2ps::sim

@@ -132,6 +132,15 @@ std::size_t Simulator::run_until(util::SimTime t) {
   return executed;
 }
 
+std::optional<util::SimTime> Simulator::next_event_time() {
+  const auto entry = pop_live();
+  if (!entry) return std::nullopt;
+  // Reinsert unchanged: the original seq restores the entry's FIFO position
+  // among same-time events on both backends (ordering is (time, seq)).
+  queue_->push(*entry);
+  return entry->time;
+}
+
 void Simulator::clear() {
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].cb) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/event_list.hpp"
@@ -97,6 +98,14 @@ class Simulator {
   /// Runs all events with time <= `t`, then advances the clock to exactly
   /// `t`. Returns the number of events executed.
   std::size_t run_until(util::SimTime t);
+
+  /// Time of the earliest live (non-cancelled) pending event, or nullopt
+  /// when none remain. Exact on both backends: cancelled residue is popped
+  /// and discarded until a live entry surfaces, which is then reinserted
+  /// unchanged — its original seq keeps its FIFO position among same-time
+  /// peers. This is the conservative-lookahead probe the shard runner uses
+  /// to pick the next window start (sim/shard_runner.hpp).
+  [[nodiscard]] std::optional<util::SimTime> next_event_time();
 
   /// Total events executed over the simulator's lifetime.
   [[nodiscard]] std::uint64_t executed_count() const { return executed_; }

@@ -253,11 +253,13 @@ TEST(StripEventMechanics, ZeroesExactlyTheMechanicsCounters) {
   const std::string text =
       "{\"events_executed\":123,\"peak_event_list\":45,"
       "\"peak_event_list_timers\":40,\"peak_event_list_other\":5,"
-      "\"timer_events_scheduled\":99,\"admissions\":7}";
+      "\"timer_events_scheduled\":99,\"peak_rss_bytes\":16777216,"
+      "\"admissions\":7}";
   EXPECT_EQ(strip_event_mechanics(text),
             "{\"events_executed\":0,\"peak_event_list\":0,"
             "\"peak_event_list_timers\":0,\"peak_event_list_other\":0,"
-            "\"timer_events_scheduled\":0,\"admissions\":7}");
+            "\"timer_events_scheduled\":0,\"peak_rss_bytes\":0,"
+            "\"admissions\":7}");
 }
 
 TEST(RunScenario, DifferentSeedsChangeSimulationOutput) {

@@ -1,0 +1,471 @@
+// Tests for the conservative-parallel sharding layer: the ShardRunner's
+// lockstep windows, the ShardRouter's lookahead contract and canonical
+// drain order (randomized differential vs the unsharded baseline), the
+// monotone SessionEndCalendar, Simulator::next_event_time on both event
+// list backends, and the ShardedSystem / sharded-scenario byte-parity
+// contract — merged output identical for any --shards and --shard-threads.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "engine/session_end_calendar.hpp"
+#include "engine/sharded_system.hpp"
+#include "net/latency.hpp"
+#include "net/shard_router.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/event_list.hpp"
+#include "sim/shard_runner.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/sim_time.hpp"
+#include "workload/arrival_pattern.hpp"
+
+namespace p2ps {
+namespace {
+
+using core::PeerId;
+using util::SimTime;
+
+// ---------- Simulator::next_event_time (the runner's window probe) ----------
+
+class NextEventTimeTest : public ::testing::TestWithParam<sim::EventListKind> {};
+
+TEST_P(NextEventTimeTest, ReportsEarliestLiveEventAndSkipsCancelledResidue) {
+  sim::Simulator simulator(GetParam());
+  EXPECT_FALSE(simulator.next_event_time().has_value());
+  const sim::EventId early = simulator.schedule_at(SimTime::millis(3), [] {});
+  simulator.schedule_at(SimTime::millis(5), [] {});
+  EXPECT_EQ(simulator.next_event_time(), SimTime::millis(3));
+  simulator.cancel(early);
+  // The cancelled head is residue, not the next event.
+  EXPECT_EQ(simulator.next_event_time(), SimTime::millis(5));
+  simulator.run_until(SimTime::millis(5));
+  EXPECT_FALSE(simulator.next_event_time().has_value());
+}
+
+TEST_P(NextEventTimeTest, ProbingDoesNotPerturbSameTickFifoOrder) {
+  sim::Simulator simulator(GetParam());
+  std::vector<int> order;
+  simulator.schedule_at(SimTime::millis(7), [&order] { order.push_back(1); });
+  simulator.schedule_at(SimTime::millis(7), [&order] { order.push_back(2); });
+  EXPECT_EQ(simulator.next_event_time(), SimTime::millis(7));
+  EXPECT_EQ(simulator.next_event_time(), SimTime::millis(7));  // idempotent
+  simulator.run_until(SimTime::millis(7));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, NextEventTimeTest,
+                         ::testing::Values(sim::EventListKind::kBinaryHeap,
+                                           sim::EventListKind::kCalendarQueue));
+
+// ---------- SessionEndCalendar ----------
+
+TEST(SessionEndCalendar, FiresAtExactTicksInFifoOrderThroughOneEvent) {
+  sim::Simulator simulator;
+  std::vector<std::pair<std::int64_t, int>> fired;
+  engine::SessionEndCalendar<int> calendar(simulator, [&](int&& id) {
+    fired.emplace_back(simulator.now().as_millis(), id);
+  });
+  calendar.schedule(SimTime::millis(5), 1);
+  calendar.schedule(SimTime::millis(5), 2);
+  calendar.schedule(SimTime::millis(9), 3);
+  EXPECT_EQ(calendar.pending(), 3u);
+  EXPECT_EQ(simulator.pending_count(), 1u);  // one armed event for all three
+  simulator.run_until(SimTime::millis(10));
+  const std::vector<std::pair<std::int64_t, int>> expected = {
+      {5, 1}, {5, 2}, {9, 3}};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(calendar.pending(), 0u);
+  EXPECT_EQ(simulator.pending_count(), 0u);  // disarmed when drained
+}
+
+TEST(SessionEndCalendar, RejectsOutOfOrderAndPastScheduling) {
+  sim::Simulator simulator;
+  engine::SessionEndCalendar<int> calendar(simulator, [](int&&) {});
+  calendar.schedule(SimTime::millis(10), 1);
+  EXPECT_THROW(calendar.schedule(SimTime::millis(5), 2),
+               util::ContractViolation);
+}
+
+// The deadline-check-on-drain rule the sharded engine leans on: a reader
+// event scheduled BEFORE the calendar entry was armed would win a
+// same-tick seq race; poll() at the reader's top makes every due end
+// happen deterministically before the read, independent of arming order.
+TEST(SessionEndCalendar, PollDrainsDueEntriesBeforeASameTickReader) {
+  sim::Simulator simulator;
+  std::vector<std::string> order;
+  engine::SessionEndCalendar<int> calendar(
+      simulator, [&order](int&&) { order.push_back("end"); });
+  simulator.schedule_at(SimTime::millis(4), [&] {
+    calendar.poll();
+    order.push_back("read");
+  });
+  calendar.schedule(SimTime::millis(4), 1);  // armed after the reader
+  simulator.run_until(SimTime::millis(4));
+  EXPECT_EQ(order, (std::vector<std::string>{"end", "read"}));
+}
+
+TEST(SessionEndCalendar, HandlersMayReentrantlyScheduleLaterEnds) {
+  sim::Simulator simulator;
+  std::vector<std::int64_t> ticks;
+  engine::SessionEndCalendar<int>* self = nullptr;
+  engine::SessionEndCalendar<int> calendar(simulator, [&](int&& generation) {
+    ticks.push_back(simulator.now().as_millis());
+    if (generation < 3) {
+      self->schedule(simulator.now() + SimTime::millis(2), generation + 1);
+    }
+  });
+  self = &calendar;
+  calendar.schedule(SimTime::millis(2), 1);
+  simulator.run_until(SimTime::millis(20));
+  EXPECT_EQ(ticks, (std::vector<std::int64_t>{2, 4, 6}));
+}
+
+// ---------- ShardRouter ----------
+
+using IntRouter = net::ShardRouter<int>;
+
+TEST(ShardRouter, RejectsSendsBelowTheLookaheadWindow) {
+  sim::Simulator simulator;
+  IntRouter router(2, SimTime::millis(10));
+  router.bind(0, simulator, [](const IntRouter::Envelope&) {});
+  IntRouter::Envelope envelope;
+  envelope.from = PeerId{0};
+  envelope.to = PeerId{1};
+  envelope.sent_at = SimTime::zero();
+  envelope.deliver_at = SimTime::millis(9);  // one tick under the window
+  EXPECT_THROW(router.send(0, std::move(envelope)), util::ContractViolation);
+}
+
+TEST(ShardRouter, RejectsSendsFromAShardThatDoesNotOwnTheSender) {
+  sim::Simulator simulator;
+  IntRouter router(2, SimTime::millis(10));
+  router.bind(0, simulator, [](const IntRouter::Envelope&) {});
+  IntRouter::Envelope envelope;
+  envelope.from = PeerId{1};  // peer 1 lives on shard 1
+  envelope.to = PeerId{0};
+  envelope.sent_at = SimTime::zero();
+  envelope.deliver_at = SimTime::millis(10);
+  EXPECT_THROW(router.send(0, std::move(envelope)), util::ContractViolation);
+}
+
+/// Drives `num_shards` simulators through the ShardRunner with the given
+/// router and horizon — the exact coordinator wiring the ShardedSystem
+/// uses, minus the engine.
+void drive(std::vector<std::unique_ptr<sim::Simulator>>& simulators,
+           IntRouter& router, SimTime horizon, int threads = 1) {
+  sim::ShardRunner runner(router.num_shards(), router.window(), threads);
+  sim::ShardRunner::Callbacks callbacks;
+  callbacks.next_event_time = [&](int shard) {
+    return simulators[static_cast<std::size_t>(shard)]->next_event_time();
+  };
+  callbacks.at_window_start = [](SimTime) {};
+  callbacks.run_to = [&](int shard, SimTime t) {
+    simulators[static_cast<std::size_t>(shard)]->run_until(t);
+  };
+  callbacks.at_barrier = [&](SimTime) { router.exchange(); };
+  runner.run(horizon, callbacks);
+}
+
+// The window-boundary tie: a local envelope (enqueued at send time) and a
+// cross-shard envelope (enqueued only at the barrier) land on the same
+// destination tick. Arrival order into the batch is partition-dependent;
+// the drain must follow the canonical (to, sent_at, from, seq) order, so
+// the remote sender with the smaller peer id delivers first.
+TEST(ShardRouter, SameTickDeliveriesDrainInCanonicalOrderNotArrivalOrder) {
+  std::vector<std::unique_ptr<sim::Simulator>> simulators;
+  simulators.push_back(std::make_unique<sim::Simulator>());
+  simulators.push_back(std::make_unique<sim::Simulator>());
+  IntRouter router(2, SimTime::millis(10));
+  std::vector<std::pair<std::int64_t, std::uint64_t>> deliveries;  // (tick, from)
+  router.bind(0, *simulators[0], [&](const IntRouter::Envelope& envelope) {
+    deliveries.emplace_back(simulators[0]->now().as_millis(),
+                            envelope.from.value());
+  });
+  router.bind(1, *simulators[1], [](const IntRouter::Envelope&) {});
+  const auto send = [&](int shard, std::uint64_t from) {
+    IntRouter::Envelope envelope;
+    envelope.from = PeerId{from};
+    envelope.to = PeerId{0};
+    envelope.sent_at = simulators[static_cast<std::size_t>(shard)]->now();
+    envelope.deliver_at = envelope.sent_at + SimTime::millis(10);
+    router.send(shard, std::move(envelope));
+  };
+  // Shard 0's peer 4 sends locally, shard 1's peer 1 cross-shard, both at
+  // t=0 with latency 10 — the local one reaches the batch a whole window
+  // earlier than the remote one.
+  simulators[0]->schedule_at(SimTime::zero(), [&] { send(0, 4); });
+  simulators[1]->schedule_at(SimTime::zero(), [&] { send(1, 1); });
+  drive(simulators, router, SimTime::millis(15));
+  const std::vector<std::pair<std::int64_t, std::uint64_t>> expected = {
+      {10, 1}, {10, 4}};
+  EXPECT_EQ(deliveries, expected);
+  EXPECT_EQ(router.cross_shard_total(), 1u);
+}
+
+// ---- randomized differential: cascading traffic, any shard count ----
+
+/// splitmix64 finalizer — a deterministic hash, not a shared RNG stream,
+/// so every draw is a pure function of (sender, seq): a property of the
+/// traffic itself, never of the partitioning.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// (deliver tick, from, sent_at, seq, hops-remaining) — one per delivery.
+using Delivery = std::tuple<std::int64_t, std::uint64_t, std::int64_t,
+                            std::uint64_t, int>;
+
+constexpr int kCascadePeers = 23;
+constexpr std::int64_t kCascadeWindowMs = 5;
+
+/// Runs the cascade on `num_shards` shards: every peer opens with a burst
+/// of sends, and each delivery spawns a follow-up from the receiver until
+/// its hop budget runs out. Destinations and latencies are hashed from
+/// (sender, seq), so the per-destination delivery log is the partition-
+/// independent ground truth.
+std::array<std::vector<Delivery>, kCascadePeers> run_cascade(int num_shards) {
+  std::vector<std::unique_ptr<sim::Simulator>> simulators;
+  for (int s = 0; s < num_shards; ++s) {
+    simulators.push_back(std::make_unique<sim::Simulator>());
+  }
+  IntRouter router(num_shards, SimTime::millis(kCascadeWindowMs));
+  std::array<std::uint64_t, kCascadePeers> send_seq{};
+  std::array<std::vector<Delivery>, kCascadePeers> logs;
+
+  const auto send_from = [&](int shard, std::uint64_t from, int hops) {
+    const std::uint64_t seq = send_seq[from]++;
+    const std::uint64_t hash = mix(from * 1'000'003 + seq);
+    IntRouter::Envelope envelope;
+    envelope.from = PeerId{from};
+    envelope.to = PeerId{hash % kCascadePeers};
+    envelope.sent_at = simulators[static_cast<std::size_t>(shard)]->now();
+    envelope.deliver_at =
+        envelope.sent_at +
+        SimTime::millis(kCascadeWindowMs +
+                        static_cast<std::int64_t>((hash >> 8) % 20));
+    envelope.seq = seq;
+    envelope.payload = hops;
+    router.send(shard, std::move(envelope));
+  };
+  for (int s = 0; s < num_shards; ++s) {
+    router.bind(s, *simulators[s],
+                [&, s](const IntRouter::Envelope& envelope) {
+                  const std::uint64_t to = envelope.to.value();
+                  logs[to].emplace_back(
+                      simulators[static_cast<std::size_t>(s)]->now().as_millis(),
+                      envelope.from.value(), envelope.sent_at.as_millis(),
+                      envelope.seq, envelope.payload);
+                  if (envelope.payload > 0) send_from(s, to, envelope.payload - 1);
+                });
+  }
+  // Initial bursts fire at ticks 1..3 — strictly before the earliest
+  // possible delivery (1 + window), so pre-scheduled sends never race a
+  // drain event on their own tick.
+  for (std::uint64_t peer = 0; peer < kCascadePeers; ++peer) {
+    const int shard = router.shard_of(PeerId{peer});
+    simulators[static_cast<std::size_t>(shard)]->schedule_at(
+        SimTime::millis(1 + static_cast<std::int64_t>(peer % 3)),
+        [&, shard, peer] { send_from(shard, peer, /*hops=*/3); });
+  }
+  drive(simulators, router, SimTime::millis(400));
+  return logs;
+}
+
+TEST(ShardRouter, CascadeDeliveryLogsMatchTheUnshardedBaseline) {
+  const auto baseline = run_cascade(1);
+  std::size_t total = 0;
+  for (const auto& log : baseline) total += log.size();
+  EXPECT_GT(total, 50u);  // the cascade actually cascaded
+  for (const int num_shards : {2, 4, 7}) {
+    const auto sharded = run_cascade(num_shards);
+    for (int peer = 0; peer < kCascadePeers; ++peer) {
+      EXPECT_EQ(sharded[static_cast<std::size_t>(peer)],
+                baseline[static_cast<std::size_t>(peer)])
+          << "peer " << peer << " with " << num_shards << " shards";
+    }
+  }
+}
+
+// ---------- ShardRunner ----------
+
+TEST(ShardRunner, SkipsIdleStretchesBetweenEventClusters) {
+  sim::Simulator simulator;
+  std::vector<std::int64_t> fired;
+  simulator.schedule_at(SimTime::millis(100), [&] { fired.push_back(100); });
+  simulator.schedule_at(SimTime::millis(2000), [&] { fired.push_back(2000); });
+  sim::ShardRunner runner(1, SimTime::millis(10));
+  sim::ShardRunner::Callbacks callbacks;
+  callbacks.next_event_time = [&](int) { return simulator.next_event_time(); };
+  callbacks.at_window_start = [](SimTime) {};
+  callbacks.run_to = [&](int, SimTime t) { simulator.run_until(t); };
+  callbacks.at_barrier = [](SimTime) {};
+  runner.run(SimTime::millis(5000), callbacks);
+  EXPECT_EQ(fired, (std::vector<std::int64_t>{100, 2000}));
+  // One window per cluster (plus at most a final horizon park) — not one
+  // per 10 ms stretch of idle time.
+  EXPECT_GE(runner.windows(), 2);
+  EXPECT_LE(runner.windows(), 3);
+}
+
+// ---------- ShardedSystem: the any-shard-count parity contract ----------
+
+engine::ShardedConfig small_sharded_config(int shards, int threads = 1) {
+  engine::ShardedConfig config;
+  config.population.seeds = 8;
+  config.population.requesters = 400;
+  config.pattern = workload::ArrivalPattern::kRampUpDown;
+  config.arrival_window = SimTime::minutes(30);
+  config.horizon = SimTime::hours(2);
+  config.session_duration = SimTime::minutes(10);
+  config.latency = net::LatencyModel::of(net::LatencyModelKind::kUniform);
+  config.loss = 0.02;
+  config.shards = shards;
+  config.threads = threads;
+  config.seed = 77;
+  return config;
+}
+
+/// Every partition-invariant field of a ShardedResult, flattened — two
+/// runs agree iff their fingerprints are string-equal (mechanics fields
+/// are deliberately excluded; they are allowed to vary with partitioning).
+std::string fingerprint(const engine::ShardedResult& result) {
+  std::ostringstream os;
+  const auto totals = [&os](const engine::ShardedClassTotals& t) {
+    os << t.first_requests << ',' << t.attempts << ',' << t.admissions << ','
+       << t.rejections << ',' << t.delay_dt_sum << ','
+       << t.rejections_at_admission_sum << ',' << t.waiting_ms_sum << ';';
+  };
+  totals(result.overall);
+  for (const auto& t : result.totals) totals(t);
+  for (const auto& sample : result.hourly) {
+    os << sample.t.as_millis() << ':' << sample.capacity_units << ':'
+       << sample.active_sessions << ':' << sample.suppliers << ';';
+  }
+  os << result.final_capacity << '|' << result.max_capacity << '|'
+     << result.suppliers_at_end << '|' << result.sessions_completed << '|'
+     << result.sessions_active_at_end << '|' << result.hold_expirations << '|'
+     << result.watchdog_recoveries << '|' << result.messages_sent << '|'
+     << result.messages_delivered << '|' << result.messages_dropped;
+  return os.str();
+}
+
+TEST(ShardedSystem, SmallLossyRunExercisesTheWholeProtocol) {
+  engine::ShardedSystem system(small_sharded_config(4));
+  const auto result = system.run();
+  EXPECT_GT(result.overall.first_requests, 0);
+  EXPECT_GT(result.overall.admissions, 0);
+  EXPECT_GT(result.sessions_completed, 0);
+  EXPECT_GT(result.messages_sent, 0u);
+  EXPECT_GT(result.messages_dropped, 0u);  // loss = 0.02
+  EXPECT_LE(result.messages_delivered + result.messages_dropped,
+            result.messages_sent);
+  EXPECT_GT(result.final_capacity, 0);
+  EXPECT_LE(result.final_capacity, result.max_capacity);
+  ASSERT_FALSE(result.hourly.empty());
+  EXPECT_EQ(result.hourly.front().t, SimTime::zero());
+  EXPECT_EQ(result.per_shard.size(), 4u);
+  EXPECT_GT(result.windows, 0);
+  EXPECT_GT(result.cross_shard_messages, 0u);
+  EXPECT_GT(result.peak_rss_bytes, 0);
+}
+
+TEST(ShardedSystem, ResultIsIdenticalForAnyShardCount) {
+  engine::ShardedSystem baseline(small_sharded_config(1));
+  const std::string reference = fingerprint(baseline.run());
+  for (const int shards : {2, 4, 7}) {
+    engine::ShardedSystem system(small_sharded_config(shards));
+    EXPECT_EQ(fingerprint(system.run()), reference) << shards << " shards";
+  }
+}
+
+TEST(ShardedSystem, ResultIsIdenticalForAnyThreadCount) {
+  engine::ShardedSystem serial(small_sharded_config(4, /*threads=*/1));
+  engine::ShardedSystem pooled(small_sharded_config(4, /*threads=*/3));
+  EXPECT_EQ(fingerprint(serial.run()), fingerprint(pooled.run()));
+}
+
+TEST(ShardedSystem, ResultIsIdenticalAcrossEventListBackends) {
+  auto on_heap = small_sharded_config(3);
+  on_heap.event_list = sim::EventListKind::kBinaryHeap;
+  auto on_calendar = small_sharded_config(3);
+  on_calendar.event_list = sim::EventListKind::kCalendarQueue;
+  engine::ShardedSystem heap_system(std::move(on_heap));
+  engine::ShardedSystem calendar_system(std::move(on_calendar));
+  EXPECT_EQ(fingerprint(heap_system.run()), fingerprint(calendar_system.run()));
+}
+
+TEST(ShardedSystem, ConfigValidationCatchesUnsafeParameters) {
+  {
+    auto config = small_sharded_config(2);
+    config.response_timeout = SimTime::millis(100);  // < 2 * max_latency
+    EXPECT_THROW(engine::ShardedSystem{std::move(config)},
+                 util::ContractViolation);
+  }
+  {
+    auto config = small_sharded_config(2);
+    config.hold_timeout = config.response_timeout;  // no commit headroom
+    EXPECT_THROW(engine::ShardedSystem{std::move(config)},
+                 util::ContractViolation);
+  }
+  {
+    auto config = small_sharded_config(0);  // at least one shard
+    EXPECT_THROW(engine::ShardedSystem{std::move(config)},
+                 util::ContractViolation);
+  }
+}
+
+// ---------- sharded scenarios: whole-payload byte parity ----------
+
+TEST(ShardedScenarios, PayloadIsByteIdenticalForAnyShardsAndThreads) {
+  scenario::ScenarioOptions base;
+  base.seed = 2002;
+  base.scale = 500;  // keep the populations small and fast
+  for (const char* name : {"msg_fig5_sharded", "perf_sharded_scale"}) {
+    std::string reference;
+    for (const int shards : {1, 2, 5}) {
+      scenario::ScenarioOptions options = base;
+      options.shards = shards;
+      options.shard_threads = shards == 5 ? 2 : 1;
+      const std::string run = scenario::run_scenario(name, options).dump();
+      if (reference.empty()) {
+        reference = run;
+      } else {
+        EXPECT_EQ(reference, run) << name << " with " << shards << " shards";
+      }
+    }
+    EXPECT_FALSE(reference.empty());
+  }
+}
+
+TEST(ShardedScenarios, MechanicsBlockAppearsOnlyBehindTheFlag) {
+  scenario::ScenarioOptions options;
+  options.seed = 3;
+  options.scale = 2000;
+  options.shards = 3;
+  const std::string plain =
+      scenario::run_scenario("msg_fig5_sharded", options).dump();
+  EXPECT_EQ(plain.find("\"mechanics\""), std::string::npos);
+  EXPECT_EQ(plain.find("\"peak_rss_bytes\""), std::string::npos);
+  options.mechanics = true;
+  const std::string with_mechanics =
+      scenario::run_scenario("msg_fig5_sharded", options).dump();
+  EXPECT_NE(with_mechanics.find("\"mechanics\""), std::string::npos);
+  EXPECT_NE(with_mechanics.find("\"shards\":3"), std::string::npos);
+  EXPECT_NE(with_mechanics.find("\"peak_rss_bytes\""), std::string::npos);
+  EXPECT_NE(with_mechanics.find("\"per_shard\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2ps
