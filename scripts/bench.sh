@@ -9,7 +9,14 @@
 #   P2PS_BENCH_SCALE   population divisor              (default 1 = full)
 #   P2PS_BENCH_REPS    timed repetitions per backend   (default 3, best-of)
 #
-# Output schema (BENCH_7.json):
+# Output schema (BENCH_8.json):
+#   sharded_10m                perf_sharded_10m (10,020,000 peers, 8
+#                              shards) after a full-scale --shards 1/4/8
+#                              + --shard-threads byte-parity verify: wall
+#                              clock, events/sec, peak RSS and bytes/peer
+#                              (must be <= 48 — the compact peer-state
+#                              acceptance gate, docs/memory.md) — the
+#                              PR-8 headline
 #   sharded                    perf_sharded_scale (1,002,000 peers, 8
 #                              shards) after a full-scale --shards 1/4/8
 #                              byte-parity verify: wall clock, total and
@@ -41,7 +48,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
-out_file="${2:-${repo_root}/BENCH_7.json}"
+out_file="${2:-${repo_root}/BENCH_8.json}"
 seed="${P2PS_BENCH_SEED:-2002}"
 scale="${P2PS_BENCH_SCALE:-1}"
 reps="${P2PS_BENCH_REPS:-3}"
@@ -224,6 +231,69 @@ sharded_per_shard_eps="$(for n in ${sharded_events_list}; do
   eps "${n}" "${sharded_best_ms}"
 done | paste -sd, -)"
 
+# The PR-8 headline: the ten-million-peer point. Full-scale byte-parity
+# across --shards 1/4/8 plus a --shard-threads variant, then the memory
+# numbers the compact peer-state campaign exists for — peak RSS and
+# bytes/peer, gated at 48 when running at full scale (docs/memory.md).
+# One timed rep by default (P2PS_BENCH_10M_REPS): a 10M run is minutes,
+# and the byte-determinism verified above makes reps near-identical.
+reps_10m="${P2PS_BENCH_10M_REPS:-1}"
+echo "==> 10M verify: perf_sharded_10m full-scale parity (--shards 1/4/8 + threads)"
+"${runner}" perf_sharded_10m --seed "${seed}" --scale "${scale}" --compact \
+    --shards 8 > "${tmp_dir}/10m.s8.json"
+for shards in 1 4; do
+  "${runner}" perf_sharded_10m --seed "${seed}" --scale "${scale}" --compact \
+      --shards "${shards}" > "${tmp_dir}/10m.s${shards}.json"
+  cmp "${tmp_dir}/10m.s8.json" "${tmp_dir}/10m.s${shards}.json" || {
+    echo "FAIL: perf_sharded_10m differs between --shards 8 and" \
+         "--shards ${shards}" >&2
+    exit 1
+  }
+done
+"${runner}" perf_sharded_10m --seed "${seed}" --scale "${scale}" --compact \
+    --shards 8 --shard-threads 4 > "${tmp_dir}/10m.s8t4.json"
+cmp "${tmp_dir}/10m.s8.json" "${tmp_dir}/10m.s8t4.json" || {
+  echo "FAIL: perf_sharded_10m differs between --shard-threads 1 and 4" >&2
+  exit 1
+}
+
+echo "==> 10M timing: perf_sharded_10m --shards 8 (${reps_10m} reps, best-of)"
+"${runner}" perf_sharded_10m --seed "${seed}" --scale "${scale}" --compact \
+    --shards 8 --mechanics > "${tmp_dir}/10m.mech.json"
+best=""
+for rep in $(seq "${reps_10m}"); do
+  start="$(now_ms)"
+  "${runner}" perf_sharded_10m --seed "${seed}" --scale "${scale}" \
+      --compact --shards 8 > /dev/null
+  elapsed=$(( $(now_ms) - start ))
+  echo "    perf_sharded_10m rep ${rep}: ${elapsed} ms"
+  if [ -z "${best}" ] || [ "${elapsed}" -lt "${best}" ]; then best="${elapsed}"; fi
+done
+m10_best_ms="${best}"
+m10_population="$(grep -o '"population":[0-9]*' \
+    "${tmp_dir}/10m.mech.json" | head -1 | cut -d: -f2)"
+m10_events_total=0
+for n in $(grep -o '"events_executed":[0-9]*' "${tmp_dir}/10m.mech.json" \
+    | cut -d: -f2); do
+  m10_events_total=$(( m10_events_total + n ))
+done
+m10_rss="$(grep -o '"peak_rss_bytes":[0-9]*' \
+    "${tmp_dir}/10m.mech.json" | head -1 | cut -d: -f2)"
+m10_bytes_per_peer="$(grep -o '"bytes_per_peer":[0-9]*' \
+    "${tmp_dir}/10m.mech.json" | head -1 | cut -d: -f2)"
+m10_pool_allocs="$(grep -o '"pool_allocations":[0-9]*' \
+    "${tmp_dir}/10m.mech.json" | head -1 | cut -d: -f2)"
+m10_pool_reuses="$(grep -o '"pool_reuses":[0-9]*' \
+    "${tmp_dir}/10m.mech.json" | head -1 | cut -d: -f2)"
+m10_windows="$(grep -o '"windows":[0-9]*' \
+    "${tmp_dir}/10m.mech.json" | head -1 | cut -d: -f2)"
+m10_eps="$(eps "${m10_events_total}" "${m10_best_ms}")"
+if [ "${scale}" -eq 1 ] && [ "${m10_bytes_per_peer}" -gt 48 ]; then
+  echo "FAIL: perf_sharded_10m bytes/peer ${m10_bytes_per_peer} exceeds the" \
+       "48-byte compact peer-state acceptance gate (docs/memory.md)" >&2
+  exit 1
+fi
+
 echo "==> sweep: 8 points (perf_steady x 8 seeds, scale $((scale * 4))), serial vs ${cores} threads"
 sweep_args=(--sweep perf_steady --seeds 1,2,3,4,5,6,7,8
             --scales $(( scale * 4 )) --compact)
@@ -289,6 +359,22 @@ cat > "${out_file}" <<EOF
     "peak_reduction_factor": ${timer_peak_reduction},
     "speedup_x100_events_to_wheel": ${timer_speedup_x100}
   },
+  "sharded_10m": {
+    "scenario": "perf_sharded_10m",
+    "population": ${m10_population},
+    "shards": 8,
+    "parity_verified_shards": [1, 4, 8],
+    "parity_verified_shard_threads": 4,
+    "wall_ms": ${m10_best_ms},
+    "events_executed_total": ${m10_events_total},
+    "events_per_sec_total": ${m10_eps},
+    "windows": ${m10_windows},
+    "peak_rss_bytes": ${m10_rss},
+    "bytes_per_peer": ${m10_bytes_per_peer},
+    "bytes_per_peer_budget": 48,
+    "pool_allocations": ${m10_pool_allocs},
+    "pool_reuses": ${m10_pool_reuses}
+  },
   "sharded": {
     "scenario": "perf_sharded_scale",
     "population": ${sharded_population},
@@ -325,4 +411,7 @@ echo "==> wrote ${out_file}: ${events} events, best ${headline} events/sec" \
      "${sharded_events_total} events in ${sharded_best_ms}ms" \
      "(${sharded_eps_total}/s), peak list ${sharded_peak_max}," \
      "RSS ${sharded_rss}B;" \
+     "10M: ${m10_population} peers / 8 shards, parity 1/4/8 + threads OK," \
+     "${m10_events_total} events in ${m10_best_ms}ms (${m10_eps}/s)," \
+     "RSS ${m10_rss}B = ${m10_bytes_per_peer}B/peer (gate 48);" \
      "sweep ${serial_ms}ms serial -> ${parallel_ms}ms on ${cores} threads"

@@ -5,15 +5,26 @@
 # Usage: scripts/ci.sh [build-dir]
 #   P2PS_CI_SEED   seed for the scenario smoke pass (default 2002)
 #   P2PS_CI_SCALE  population divisor for the smoke pass (default 10)
+#   P2PS_SANITIZE  opt-in sanitizer pass: 'address' or 'undefined'. The
+#                  whole tier-1 + smoke run repeats under the instrumented
+#                  build; use a dedicated build dir (sanitizer flags are
+#                  cached). RSS-budget checks are skipped — sanitized RSS
+#                  is not comparable to production RSS.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 seed="${P2PS_CI_SEED:-2002}"
 scale="${P2PS_CI_SCALE:-10}"
+sanitize="${P2PS_SANITIZE:-}"
 
-echo "==> tier-1: configure (warnings are errors)"
-cmake -B "${build_dir}" -S "${repo_root}" -DP2PS_WERROR=ON
+if [ -n "${sanitize}" ]; then
+  echo "==> tier-1: configure (warnings are errors, -fsanitize=${sanitize})"
+else
+  echo "==> tier-1: configure (warnings are errors)"
+fi
+cmake -B "${build_dir}" -S "${repo_root}" -DP2PS_WERROR=ON \
+    -DP2PS_SANITIZE="${sanitize}"
 
 echo "==> tier-1: build"
 cmake --build "${build_dir}" -j "$(nproc)"
@@ -270,6 +281,35 @@ grep -q '"mechanics"' "${smoke_dir}/msg_fig5_sharded.1.json" && {
   exit 1
 }
 
+# Memory smoke: the compact-peer-state budget (docs/memory.md). A 1/10th
+# perf_sharded_10m run (1,002,000 peers — the PR-7 headline population)
+# must stay under a peak RSS only the hot/cold split can meet: the AoS
+# LocalPeer engine measured 165 MB here (BENCH_7), the compact layout
+# ~48 MB, so a 128 MB ceiling fails any regression back to fat per-peer
+# records long before the 10M bench would. Skipped under sanitizers:
+# shadow memory and redzones inflate RSS by design.
+if [ -z "${sanitize}" ]; then
+  rss_budget_bytes=$(( 128 * 1024 * 1024 ))
+  echo "==> memory smoke: perf_sharded_10m --scale 10 peak RSS <= ${rss_budget_bytes}"
+  "${runner}" perf_sharded_10m --seed "${seed}" --scale 10 --compact \
+      --mechanics > "${smoke_dir}/memory.json"
+  rss="$(grep -o '"peak_rss_bytes":[0-9]*' "${smoke_dir}/memory.json" \
+      | head -1 | cut -d: -f2)"
+  if [ -z "${rss}" ] || [ "${rss}" -eq 0 ]; then
+    echo "FAIL: memory smoke reported no peak_rss_bytes" >&2
+    exit 1
+  fi
+  if [ "${rss}" -gt "${rss_budget_bytes}" ]; then
+    echo "FAIL: perf_sharded_10m --scale 10 peak RSS ${rss} exceeds the" \
+         "${rss_budget_bytes}-byte budget; the compact peer-state layout" \
+         "has regressed (docs/memory.md)" >&2
+    exit 1
+  fi
+  echo "    peak RSS ${rss} bytes (budget ${rss_budget_bytes})"
+else
+  echo "==> memory smoke: skipped under -fsanitize=${sanitize}"
+fi
+
 echo "==> OK: build, tests, ${count}-scenario smoke pass, perf smoke," \
      "message smoke, sweep smoke, latency-axis smoke, timer smoke," \
-     "loss-axis smoke, policy smoke and shard smoke all green"
+     "loss-axis smoke, policy smoke, shard smoke and memory smoke all green"

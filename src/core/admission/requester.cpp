@@ -5,7 +5,6 @@
 
 namespace p2ps::core {
 
-namespace {
 /// Saturating power: t_bkf * e_bkf^exp without overflow (caps at ~292 years
 /// of simulated time, far beyond any run length).
 util::SimTime scaled_backoff(util::SimTime t_bkf, std::int64_t e_bkf, std::int64_t exp) {
@@ -17,7 +16,6 @@ util::SimTime scaled_backoff(util::SimTime t_bkf, std::int64_t e_bkf, std::int64
   }
   return util::SimTime::millis(ms);
 }
-}  // namespace
 
 RequesterBackoff::RequesterBackoff(util::SimTime t_bkf, std::int64_t e_bkf)
     : t_bkf_(t_bkf), e_bkf_(e_bkf) {

@@ -17,6 +17,15 @@
 
 namespace p2ps::core {
 
+/// The backoff after the (exp+1)-th rejection: t_bkf · e_bkf^exp, saturating
+/// at ~292 simulated years instead of overflowing. Exposed so engines that
+/// pack the rejection count into per-peer bit fields (the sharded engine's
+/// compact state) can reproduce RequesterBackoff's delays from the count
+/// alone — the backoff is a pure function of (t_bkf, e_bkf, rejections).
+[[nodiscard]] util::SimTime scaled_backoff(util::SimTime t_bkf,
+                                           std::int64_t e_bkf,
+                                           std::int64_t exp);
+
 /// Backoff/retry bookkeeping for one requesting peer.
 class RequesterBackoff {
  public:

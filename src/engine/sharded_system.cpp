@@ -1,8 +1,10 @@
 #include "engine/sharded_system.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <utility>
 
+#include "core/admission/requester.hpp"
 #include "core/ots.hpp"
 #include "engine/result.hpp"
 #include "util/assert.hpp"
@@ -17,6 +19,51 @@ ShardedConfig validated(ShardedConfig config) {
   config.validate();
   return config;
 }
+
+/// Engine ticks as 32-bit milliseconds — validate() bounds every
+/// schedulable tick below 2^32 ms (~49.7 simulated days), so the cast is
+/// checked, not lossy.
+std::uint32_t to_ms32(util::SimTime t) {
+  const std::int64_t ms = t.as_millis();
+  P2PS_CHECK_MSG(ms >= 0 && ms < 0xFFFFFFFFll,
+                 "tick outside the 32-bit millisecond range the compact "
+                 "peer state stores (ShardedConfig::validate bounds this)");
+  return static_cast<std::uint32_t>(ms);
+}
+
+// ---- requester-phase word layout: [31:0] first-request ms,
+// [51:32] attempt epoch, [63:52] backoff rejections ----
+
+constexpr std::uint64_t kEpochShift = 32;
+constexpr std::uint64_t kEpochMask = (std::uint64_t{1} << 20) - 1;
+constexpr std::uint64_t kRejShift = 52;
+
+std::uint32_t req_first_ms(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word);
+}
+std::uint32_t req_epoch(std::uint64_t word) {
+  return static_cast<std::uint32_t>((word >> kEpochShift) & kEpochMask);
+}
+std::int64_t req_rejections(std::uint64_t word) {
+  return static_cast<std::int64_t>(word >> kRejShift);
+}
+std::uint64_t bump_epoch(std::uint64_t word) {
+  const std::uint64_t epoch = ((word >> kEpochShift) & kEpochMask) + 1;
+  P2PS_CHECK_MSG(epoch <= kEpochMask, "attempt epoch overflow");
+  return (word & ~(kEpochMask << kEpochShift)) | (epoch << kEpochShift);
+}
+std::uint64_t bump_rejections(std::uint64_t word) {
+  const std::uint64_t rejections = (word >> kRejShift) + 1;
+  P2PS_CHECK_MSG(rejections < (std::uint64_t{1} << 12),
+                 "backoff rejection count overflows its 12-bit field");
+  return (word & ((std::uint64_t{1} << kRejShift) - 1)) |
+         (rejections << kRejShift);
+}
+
+// ---- flags byte: [1:0] SupplierStatus, [2] admitted ----
+
+constexpr std::uint8_t kStatusMask = 0x03;
+constexpr std::uint8_t kAdmittedBit = 0x04;
 
 }  // namespace
 
@@ -52,6 +99,20 @@ void ShardedConfig::validate() const {
                    "sampler always wins same-tick seq races (docs/sharding.md)");
   P2PS_REQUIRE_MSG(selection_policy != nullptr,
                    "ShardedConfig.selection_policy must not be null");
+  // The compact peer state stores ticks as 32-bit milliseconds. The latest
+  // tick the engine can ever write is a session watchdog armed at the
+  // horizon (now + session + 4 holds); everything else (joins, deadlines,
+  // deliveries) is bounded tighter. ~49.7 simulated days of headroom.
+  const util::SimTime latest_tick = horizon + session_duration +
+                                    4 * hold_timeout + response_timeout +
+                                    2 * latency.max_latency() +
+                                    latency.min_latency();
+  P2PS_REQUIRE_MSG(latest_tick.as_millis() < 0xFFFFFFFFll,
+                   "horizon + session + hold extents must fit 32-bit "
+                   "milliseconds (compact peer state, docs/memory.md)");
+  P2PS_REQUIRE_MSG(population.seeds + population.requesters <
+                       std::int64_t{0xFFFFFFFFll},
+                   "compact peer state stores peer ids as 32 bits");
 }
 
 ShardedClassTotals& ShardedClassTotals::operator+=(const ShardedClassTotals& other) {
@@ -69,33 +130,37 @@ ShardedClassTotals& ShardedClassTotals::operator+=(const ShardedClassTotals& oth
 // Directory
 // ---------------------------------------------------------------------------
 
-void ShardedSystem::Directory::enqueue(util::SimTime visible, core::PeerId peer,
-                                       core::PeerClass cls) {
-  pending_heap_.push_back(Entry{visible, peer, cls});
+void ShardedSystem::Directory::enqueue(std::uint32_t visible_ms,
+                                       std::uint32_t peer) {
+  pending_heap_.push_back(Join{visible_ms, peer});
   std::push_heap(pending_heap_.begin(), pending_heap_.end(), Later{});
 }
 
 void ShardedSystem::Directory::flush_due(util::SimTime through) {
-  while (!pending_heap_.empty() && pending_heap_.front().visible <= through) {
+  const std::int64_t through_ms = through.as_millis();
+  while (!pending_heap_.empty() &&
+         pending_heap_.front().visible_ms <= through_ms) {
     std::pop_heap(pending_heap_.begin(), pending_heap_.end(), Later{});
-    const Entry entry = pending_heap_.back();
+    const Join entry = pending_heap_.back();
     pending_heap_.pop_back();
     // The flushed prefix must stay totally ordered by (visible, peer):
     // within one flush the heap pops in order, and across flushes every
     // later join is visible strictly after the previous flush bound
     // (conservative lookahead — see docs/sharding.md).
     P2PS_CHECK_MSG(
-        flushed_.empty() || flushed_.back().visible < entry.visible ||
-            (flushed_.back().visible == entry.visible &&
-             flushed_.back().peer.value() < entry.peer.value()),
+        visible_ms_.empty() || visible_ms_.back() < entry.visible_ms ||
+            (visible_ms_.back() == entry.visible_ms &&
+             peers_.back() < entry.peer),
         "directory join published out of canonical (visible, peer) order");
-    flushed_.push_back(entry);
+    visible_ms_.push_back(entry.visible_ms);
+    peers_.push_back(entry.peer);
   }
 }
 
 std::size_t ShardedSystem::Directory::visible_count(int shard, util::SimTime at) {
+  const std::int64_t at_ms = at.as_millis();
   std::size_t& cursor = cursors_[static_cast<std::size_t>(shard)];
-  while (cursor < flushed_.size() && flushed_[cursor].visible <= at) ++cursor;
+  while (cursor < visible_ms_.size() && visible_ms_[cursor] <= at_ms) ++cursor;
   return cursor;
 }
 
@@ -108,15 +173,30 @@ struct ShardedSystem::Shard {
   sim::Simulator sim;
   /// Lazy sources — one pending event each for the whole population
   /// (declared after `sim`, destroyed before it).
-  RetrySource retries;
+  RetryHeap retries;
   SessionEndCalendar<Deadline> deadlines;
   SessionEndCalendar<SessionEnd> ends;
   std::unique_ptr<sim::Periodic> sampler;
 
-  std::vector<LocalPeer> peers;
-  /// In-flight attempt pool (slab + free list; replies keep capacity).
+  // Hot per-peer state: parallel arrays indexed by local peer index (see
+  // the layout comment in sharded_system.hpp).
+  std::vector<std::uint64_t> word;
+  std::vector<std::uint32_t> aux;
+  std::vector<std::uint32_t> send_seq;
+  std::vector<std::uint32_t> rng_slot;
+  std::vector<std::uint8_t> flags;
+
+  // Cold pools, sized by concurrent activity rather than population.
+  std::vector<util::Rng> rng_pool;
+  std::vector<std::uint32_t> rng_free;
   std::vector<Attempt> attempts;
   std::uint32_t attempt_free = kNoAttempt;
+  /// Chosen-supplier ids (global, u32) for every active session,
+  /// concatenated in admission order — the FIFO twin of `ends`.
+  std::deque<std::uint32_t> chosen_fifo;
+  std::uint64_t pool_allocations = 0;
+  std::uint64_t pool_reuses = 0;
+
   /// Next global arrival index owned by this shard (stride = shard count).
   std::int64_t next_arrival = 0;
 
@@ -138,26 +218,49 @@ struct ShardedSystem::Shard {
   std::uint64_t dropped = 0;
   std::uint64_t delivered = 0;
 
-  Shard(ShardedSystem& system, int index)
+  [[nodiscard]] SupplierStatus status_of(std::uint32_t local) const {
+    return static_cast<SupplierStatus>(flags[local] & kStatusMask);
+  }
+  void set_status(std::uint32_t local, SupplierStatus status) {
+    flags[local] = static_cast<std::uint8_t>(
+        (flags[local] & ~kStatusMask) | static_cast<std::uint8_t>(status));
+  }
+  [[nodiscard]] bool admitted(std::uint32_t local) const {
+    return (flags[local] & kAdmittedBit) != 0;
+  }
+
+  Shard(ShardedSystem& system, int index, std::int64_t owned)
       : index(index),
         sim(system.config_.event_list),
-        retries(sim,
-                [&system, this](core::PeerId peer) {
-                  system.start_attempt(*this, system.local_index(peer));
+        retries(sim, system.config_.horizon,
+                [&system, this](std::uint32_t local) {
+                  system.start_attempt(*this, local);
                 }),
         deadlines(sim,
                   [&system, this](Deadline&& deadline) {
-                    LocalPeer& p = peers[deadline.peer_local];
-                    if (p.attempt == kNoAttempt ||
-                        p.attempt_epoch != deadline.epoch) {
+                    const std::uint32_t local = deadline.peer_local;
+                    // Staleness, phase-first: once admitted (or already a
+                    // supplier) word/aux no longer carry requester state.
+                    if (admitted(local) ||
+                        status_of(local) != SupplierStatus::kNone) {
+                      return;
+                    }
+                    if (aux[local] == kNoAttempt ||
+                        req_epoch(word[local]) != deadline.epoch) {
                       return;  // the attempt concluded first — stale
                     }
-                    system.conclude_attempt(*this, deadline.peer_local);
+                    system.conclude_attempt(*this, local);
                   }),
         ends(sim, [&system, this](SessionEnd&& end) {
-          system.finish_session(*this, std::move(end));
+          system.finish_session(*this, end);
         }) {
     totals.resize(static_cast<std::size_t>(system.config_.protocol.num_classes));
+    const auto count = static_cast<std::size_t>(std::max<std::int64_t>(owned, 0));
+    word.assign(count, 0);
+    aux.assign(count, kNoAttempt);
+    send_seq.assign(count, 0);
+    rng_slot.assign(count, kRngNever);
+    flags.assign(count, 0);
   }
 };
 
@@ -168,9 +271,14 @@ struct ShardedSystem::Shard {
 ShardedSystem::ShardedSystem(ShardedConfig config)
     : config_(validated(std::move(config))),
       lookahead_(config_.latency.min_latency()),
-      arrivals_(workload::ArrivalSchedule::make(config_.pattern,
-                                                config_.population.requesters,
-                                                config_.arrival_window)),
+      master_(config_.seed),
+      sends_draw_free_(config_.loss == 0.0 && config_.latency.deterministic()),
+      // Lazy: arrival times are computed per index from the piece table —
+      // identical values to an eager schedule, but O(1) memory where ten
+      // million materialised SimTimes would cost 80 MB (docs/memory.md).
+      arrivals_(workload::ArrivalSchedule::make_lazy(
+          config_.pattern, config_.population.requesters,
+          config_.arrival_window)),
       router_(config_.shards, lookahead_),
       directory_(config_.shards),
       join_buffers_(static_cast<std::size_t>(config_.shards)) {
@@ -178,32 +286,26 @@ ShardedSystem::ShardedSystem(ShardedConfig config)
 
   // Everything global is derived before sharding, so it is identical for
   // every shard count: the class mix (one "population" substream draw
-  // sequence), the arrival schedule, and each peer's private random
-  // universe (a named per-peer substream of the master seed).
-  util::Rng master(config_.seed);
-  util::Rng population_rng = master.substream("population");
-  requester_classes_ =
+  // sequence) and the arrival schedule. Per-peer random universes are
+  // named substreams of the master seed, hydrated lazily on first draw —
+  // substream derivation never advances the master, so laziness is
+  // bit-invisible (docs/memory.md).
+  util::Rng population_rng = master_.substream("population");
+  const std::vector<core::PeerClass> classes =
       workload::build_requester_classes(config_.population, population_rng);
+  requester_classes_.reserve(classes.size());
+  for (const core::PeerClass cls : classes) {
+    requester_classes_.push_back(static_cast<std::uint8_t>(cls));
+  }
 
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int s = 0; s < config_.shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(*this, s));
+    const auto owned = (total_peers_ - s + config_.shards - 1) / config_.shards;
+    shards_.push_back(std::make_unique<Shard>(*this, s, owned));
     Shard& shard = *shards_.back();
-    const auto owned =
-        (total_peers_ - s + config_.shards - 1) / config_.shards;
-    shard.peers.reserve(static_cast<std::size_t>(std::max<std::int64_t>(owned, 0)));
     shard.next_arrival = ((s - config_.population.seeds) % config_.shards +
                           config_.shards) %
                          config_.shards;
-  }
-  for (std::int64_t p = 0; p < total_peers_; ++p) {
-    const core::PeerId peer{static_cast<std::uint64_t>(p)};
-    Shard& shard = *shards_[static_cast<std::size_t>(shard_of(peer))];
-    shard.peers.emplace_back(config_, master.substream("peer", peer.value()),
-                             class_of(peer));
-  }
-  for (int s = 0; s < config_.shards; ++s) {
-    Shard& shard = *shards_[static_cast<std::size_t>(s)];
     router_.bind(s, shard.sim, [this, &shard](const Envelope& envelope) {
       on_deliver(shard, envelope);
     });
@@ -224,7 +326,8 @@ int ShardedSystem::shard_of(core::PeerId peer) const {
 core::PeerClass ShardedSystem::class_of(core::PeerId peer) const {
   const auto p = static_cast<std::int64_t>(peer.value());
   if (p < config_.population.seeds) return config_.population.seed_class;
-  return requester_classes_[static_cast<std::size_t>(p - config_.population.seeds)];
+  return static_cast<core::PeerClass>(
+      requester_classes_[static_cast<std::size_t>(p - config_.population.seeds)]);
 }
 
 core::PeerId ShardedSystem::global_id(int shard, std::uint32_t local) const {
@@ -239,17 +342,62 @@ std::uint32_t ShardedSystem::local_index(core::PeerId peer) const {
 }
 
 // ---------------------------------------------------------------------------
-// Attempt pool
+// Cold-state pools
 // ---------------------------------------------------------------------------
+
+util::Rng& ShardedSystem::rng_of(Shard& shard, std::uint32_t local) {
+  std::uint32_t slot = shard.rng_slot[local];
+  if (slot & kRngDemotedBit) {
+    // (Re)hydrate: derive the substream afresh and fast-forward by the
+    // recorded raw-draw count — bit-identical to having kept the state
+    // resident (substream derivation is pure, and discard replays the
+    // exact output sequence, rejection loops included).
+    util::Rng stream =
+        master_.substream("peer", global_id(shard.index, local).value());
+    stream.discard(slot & kRngCountMask);
+    if (!shard.rng_free.empty()) {
+      slot = shard.rng_free.back();
+      shard.rng_free.pop_back();
+      shard.rng_pool[slot] = stream;
+      ++shard.pool_reuses;
+    } else {
+      P2PS_CHECK_MSG(shard.rng_pool.size() < kRngDemotedBit,
+                     "rng pool exhausted");
+      slot = static_cast<std::uint32_t>(shard.rng_pool.size());
+      shard.rng_pool.push_back(stream);
+      ++shard.pool_allocations;
+    }
+    shard.rng_slot[local] = slot;
+  }
+  return shard.rng_pool[slot];
+}
+
+void ShardedSystem::release_rng(Shard& shard, std::uint32_t local) {
+  const std::uint32_t slot = shard.rng_slot[local];
+  if (slot & kRngDemotedBit) return;
+  shard.rng_free.push_back(slot);
+  shard.rng_slot[local] = kRngNever;
+}
+
+void ShardedSystem::demote_rng(Shard& shard, std::uint32_t local) {
+  const std::uint32_t slot = shard.rng_slot[local];
+  if (slot & kRngDemotedBit) return;  // never hydrated this attempt
+  const std::uint64_t draws = shard.rng_pool[slot].draws();
+  P2PS_CHECK_MSG(draws <= kRngCountMask, "rng draw count overflows the tag");
+  shard.rng_free.push_back(slot);
+  shard.rng_slot[local] = kRngDemotedBit | static_cast<std::uint32_t>(draws);
+}
 
 std::uint32_t ShardedSystem::acquire_attempt(Shard& shard) {
   if (shard.attempt_free != kNoAttempt) {
     const std::uint32_t index = shard.attempt_free;
     shard.attempt_free = shard.attempts[index].next_free;
     shard.attempts[index].replies.clear();  // capacity kept
+    ++shard.pool_reuses;
     return index;
   }
   shard.attempts.emplace_back();
+  ++shard.pool_allocations;
   return static_cast<std::uint32_t>(shard.attempts.size() - 1);
 }
 
@@ -262,24 +410,31 @@ void ShardedSystem::release_attempt(Shard& shard, std::uint32_t index) {
 // Messaging
 // ---------------------------------------------------------------------------
 
-void ShardedSystem::send(Shard& shard, LocalPeer& from, core::PeerId to, Msg msg) {
+void ShardedSystem::send(Shard& shard, std::uint32_t from_local,
+                         core::PeerId to, Msg msg) {
   ++shard.sent;
+  const core::PeerId from = global_id(shard.index, from_local);
   // Sender-side draws, in a fixed order: drop first, latency only if kept —
   // all on the sender's private stream, so the draw sequence is a property
-  // of the peer's own trajectory, never of shard layout.
-  if (config_.loss > 0.0 && from.rng.bernoulli(config_.loss)) {
+  // of the peer's own trajectory, never of shard layout. When no send can
+  // draw (zero loss + deterministic latency) the stream is not even
+  // hydrated — the null_rng_ sink is never touched by sample().
+  if (config_.loss > 0.0 && rng_of(shard, from_local).bernoulli(config_.loss)) {
     ++shard.dropped;
     return;
   }
   const util::SimTime now = shard.sim.now();
+  util::Rng& latency_rng = config_.latency.deterministic()
+                               ? null_rng_
+                               : rng_of(shard, from_local);
   const util::SimTime latency =
-      config_.latency.sample(from.cls, class_of(to), from.rng);
+      config_.latency.sample(class_of(from), class_of(to), latency_rng);
   Envelope envelope;
-  envelope.from = global_id(shard.index, static_cast<std::uint32_t>(&from - shard.peers.data()));
+  envelope.from = from;
   envelope.to = to;
   envelope.sent_at = now;
   envelope.deliver_at = now + latency;
-  envelope.seq = from.send_seq++;
+  envelope.seq = shard.send_seq[from_local]++;
   envelope.payload = msg;
   router_.send(shard.index, std::move(envelope));
 }
@@ -291,72 +446,92 @@ void ShardedSystem::on_deliver(Shard& shard, const Envelope& envelope) {
   // partitioning (docs/sharding.md).
   shard.deadlines.poll();
   ++shard.delivered;
-  LocalPeer& to = shard.peers[local_index(envelope.to)];
+  const std::uint32_t local = local_index(envelope.to);
   const Msg& msg = envelope.payload;
   switch (msg.kind) {
     case MsgKind::kProbe:
-      on_probe(shard, to, envelope);
+      on_probe(shard, local, envelope);
       return;
     case MsgKind::kGrant:
-      on_grant(shard, to, envelope);
+      on_grant(shard, local, envelope);
       return;
     case MsgKind::kCommit:
-      purge_supplier(shard, to, shard.sim.now());
-      if (to.status == SupplierStatus::kHeld && to.held_session == msg.session) {
-        to.status = SupplierStatus::kCommitted;
+      purge_supplier(shard, local, shard.sim.now());
+      if (shard.status_of(local) == SupplierStatus::kHeld &&
+          shard.word[local] == msg.session) {
+        shard.set_status(local, SupplierStatus::kCommitted);
         // Self-recovery if the teardown is lost: a session cannot engage a
         // supplier for much longer than the show time plus control slack.
-        to.hold_expiry = shard.sim.now() + config_.session_duration +
-                         4 * config_.hold_timeout;
+        shard.aux[local] = to_ms32(shard.sim.now() + config_.session_duration +
+                                   4 * config_.hold_timeout);
       }
       // Else: the hold expired (or was re-granted) before the commit
       // landed — the requester counts a supplier it does not have, the
       // same documented race as the async engine's, only under loss.
       return;
     case MsgKind::kRelease:
-      purge_supplier(shard, to, shard.sim.now());
-      if (to.status == SupplierStatus::kHeld && to.held_session == msg.session) {
-        to.status = SupplierStatus::kFree;
+      purge_supplier(shard, local, shard.sim.now());
+      if (shard.status_of(local) == SupplierStatus::kHeld &&
+          shard.word[local] == msg.session) {
+        shard.set_status(local, SupplierStatus::kFree);
       }
       return;
     case MsgKind::kEnd:
-      purge_supplier(shard, to, shard.sim.now());
-      if (to.status == SupplierStatus::kCommitted &&
-          to.held_session == msg.session) {
-        to.status = SupplierStatus::kFree;
+      purge_supplier(shard, local, shard.sim.now());
+      if (shard.status_of(local) == SupplierStatus::kCommitted &&
+          shard.word[local] == msg.session) {
+        shard.set_status(local, SupplierStatus::kFree);
       }
       return;
   }
   P2PS_CHECK_MSG(false, "unreachable message kind");
 }
 
-void ShardedSystem::purge_supplier(Shard& shard, LocalPeer& peer, util::SimTime now) {
-  if (peer.status == SupplierStatus::kHeld && peer.hold_expiry <= now) {
-    peer.status = SupplierStatus::kFree;
+void ShardedSystem::purge_supplier(Shard& shard, std::uint32_t local,
+                                   util::SimTime now) {
+  const SupplierStatus status = shard.status_of(local);
+  if (status != SupplierStatus::kHeld && status != SupplierStatus::kCommitted) {
+    return;
+  }
+  // Supplier phase: aux is the hold/watchdog expiry tick.
+  if (static_cast<std::int64_t>(shard.aux[local]) > now.as_millis()) return;
+  shard.set_status(local, SupplierStatus::kFree);
+  if (status == SupplierStatus::kHeld) {
     ++shard.hold_expirations;
-  } else if (peer.status == SupplierStatus::kCommitted && peer.hold_expiry <= now) {
-    peer.status = SupplierStatus::kFree;
+  } else {
     ++shard.watchdog_recoveries;
   }
 }
 
-void ShardedSystem::on_probe(Shard& shard, LocalPeer& to, const Envelope& envelope) {
-  P2PS_CHECK_MSG(to.status != SupplierStatus::kNone,
+void ShardedSystem::on_probe(Shard& shard, std::uint32_t local,
+                             const Envelope& envelope) {
+  P2PS_CHECK_MSG(shard.status_of(local) != SupplierStatus::kNone,
                  "probe delivered to a peer the directory never listed");
-  purge_supplier(shard, to, shard.sim.now());
-  if (to.status != SupplierStatus::kFree) return;  // silent busy
-  to.status = SupplierStatus::kHeld;
-  to.held_session = envelope.payload.session;
-  to.hold_expiry = shard.sim.now() + config_.hold_timeout;
-  send(shard, to, envelope.from,
-       Msg{MsgKind::kGrant, to.cls, envelope.payload.session});
+  purge_supplier(shard, local, shard.sim.now());
+  if (shard.status_of(local) != SupplierStatus::kFree) return;  // silent busy
+  shard.set_status(local, SupplierStatus::kHeld);
+  shard.word[local] = envelope.payload.session;
+  shard.aux[local] = to_ms32(shard.sim.now() + config_.hold_timeout);
+  send(shard, local, envelope.from,
+       Msg{MsgKind::kGrant, class_of(global_id(shard.index, local)),
+           envelope.payload.session});
 }
 
-void ShardedSystem::on_grant(Shard& shard, LocalPeer& to, const Envelope& envelope) {
-  if (to.attempt == kNoAttempt) return;  // concluded — deterministically late
-  Attempt& attempt = shard.attempts[to.attempt];
+void ShardedSystem::on_grant(Shard& shard, std::uint32_t local,
+                             const Envelope& envelope) {
+  // Phase first (see the deadline handler): for an admitted peer or a
+  // supplier, aux no longer names an attempt slot.
+  if (shard.admitted(local) ||
+      shard.status_of(local) != SupplierStatus::kNone) {
+    return;  // concluded long ago — deterministically late
+  }
+  const std::uint32_t index = shard.aux[local];
+  if (index == kNoAttempt) return;  // concluded — deterministically late
+  Attempt& attempt = shard.attempts[index];
   if (attempt.session != envelope.payload.session) return;  // stale attempt
-  attempt.replies.push_back(Reply{envelope.from, envelope.payload.cls});
+  attempt.replies.push_back(
+      Reply{static_cast<std::uint32_t>(envelope.from.value()),
+            envelope.payload.cls});
   if (attempt.replies.size() == attempt.probed) {
     conclude_attempt(shard, attempt.peer_local);
   }
@@ -367,24 +542,24 @@ void ShardedSystem::on_grant(Shard& shard, LocalPeer& to, const Envelope& envelo
 // ---------------------------------------------------------------------------
 
 void ShardedSystem::first_request(Shard& shard, std::uint32_t local) {
-  LocalPeer& p = shard.peers[local];
-  p.first_request_time = shard.sim.now();
-  ++shard.totals[static_cast<std::size_t>(p.cls - 1)].first_requests;
+  shard.word[local] = to_ms32(shard.sim.now());  // epoch/rejections start at 0
+  const core::PeerClass cls = class_of(global_id(shard.index, local));
+  ++shard.totals[static_cast<std::size_t>(cls - 1)].first_requests;
   start_attempt(shard, local);
 }
 
 void ShardedSystem::start_attempt(Shard& shard, std::uint32_t local) {
-  LocalPeer& p = shard.peers[local];
-  P2PS_CHECK(!p.admitted && p.attempt == kNoAttempt &&
-             p.status == SupplierStatus::kNone);
-  ++p.attempt_epoch;
-  P2PS_CHECK_MSG(p.attempt_epoch < (1u << 20), "attempt epoch overflow");
-  ++shard.totals[static_cast<std::size_t>(p.cls - 1)].attempts;
+  P2PS_CHECK(!shard.admitted(local) && shard.aux[local] == kNoAttempt &&
+             shard.status_of(local) == SupplierStatus::kNone);
+  std::uint64_t word = bump_epoch(shard.word[local]);
+  shard.word[local] = word;
+  const core::PeerClass cls = class_of(global_id(shard.index, local));
+  ++shard.totals[static_cast<std::size_t>(cls - 1)].attempts;
 
   const util::SimTime now = shard.sim.now();
   const core::PeerId self = global_id(shard.index, local);
   const std::uint64_t session =
-      (self.value() << 20) | static_cast<std::uint64_t>(p.attempt_epoch);
+      (self.value() << 20) | static_cast<std::uint64_t>(req_epoch(word));
 
   // Candidate lookup against the visible prefix of the global directory
   // (joins become visible one lookahead window after they happen), sampled
@@ -394,93 +569,124 @@ void ShardedSystem::start_attempt(Shard& shard, std::uint32_t local) {
   if (m == 0) {
     // No supplier is visible yet (cannot happen once seeds are registered,
     // but stay total): an immediate rejection with normal backoff.
-    ++shard.totals[static_cast<std::size_t>(p.cls - 1)].rejections;
-    ++p.attempt_epoch;
-    shard.retries.schedule(p.backoff.on_rejected(), self);
+    ++shard.totals[static_cast<std::size_t>(cls - 1)].rejections;
+    word = bump_rejections(bump_epoch(word));
+    shard.word[local] = word;
+    shard.retries.schedule(
+        core::scaled_backoff(config_.protocol.t_bkf, config_.protocol.e_bkf,
+                             req_rejections(word) - 1),
+        local);
     return;
   }
-  p.rng.sample_indices_into(shard.indices_scratch, visible, m);
+  rng_of(shard, local).sample_indices_into(shard.indices_scratch, visible, m);
 
   const std::uint32_t index = acquire_attempt(shard);
   Attempt& attempt = shard.attempts[index];
   attempt.session = session;
   attempt.peer_local = local;
   attempt.probed = static_cast<std::uint32_t>(m);
-  p.attempt = index;
+  shard.aux[local] = index;
   for (const std::size_t candidate : shard.indices_scratch) {
-    send(shard, p, directory_.at(candidate).peer,
-         Msg{MsgKind::kProbe, p.cls, session});
+    send(shard, local, directory_.peer_at(candidate),
+         Msg{MsgKind::kProbe, cls, session});
   }
   shard.deadlines.schedule(now + config_.response_timeout,
-                           Deadline{local, p.attempt_epoch});
+                           Deadline{local, req_epoch(word)});
 }
 
 void ShardedSystem::conclude_attempt(Shard& shard, std::uint32_t local) {
-  LocalPeer& p = shard.peers[local];
-  const std::uint32_t index = p.attempt;
+  const std::uint32_t index = shard.aux[local];
   Attempt& attempt = shard.attempts[index];
   const util::SimTime now = shard.sim.now();
-  const core::PeerId self = global_id(shard.index, local);
-  auto& totals = shard.totals[static_cast<std::size_t>(p.cls - 1)];
+  const core::PeerClass cls = class_of(global_id(shard.index, local));
+  auto& totals = shard.totals[static_cast<std::size_t>(cls - 1)];
 
   shard.classes_scratch.clear();
   for (const Reply& reply : attempt.replies) {
-    shard.classes_scratch.push_back(reply.cls);
+    shard.classes_scratch.push_back(static_cast<core::PeerClass>(reply.cls));
   }
-  const core::SelectionContext context{p.cls, &p.rng};
+  // The peer is necessarily hydrated here (start_attempt sampled
+  // candidates), so rng_of is a plain lookup for randomized policies.
+  const core::SelectionContext context{cls, &rng_of(shard, local)};
   config_.selection_policy->select_into(shard.selection, shard.classes_scratch,
                                         core::Bandwidth::playback_rate(), context);
 
   if (shard.selection.success()) {
-    p.admitted = true;
+    shard.flags[local] |= kAdmittedBit;
     ++shard.sessions_active;
     ++totals.admissions;
-    totals.rejections_at_admission_sum += p.backoff.rejections();
-    totals.waiting_ms_sum += (now - p.first_request_time).as_millis();
+    totals.rejections_at_admission_sum += req_rejections(shard.word[local]);
+    totals.waiting_ms_sum +=
+        now.as_millis() - static_cast<std::int64_t>(req_first_ms(shard.word[local]));
 
-    SessionEnd end;
-    end.peer_local = local;
-    end.session = attempt.session;
-    end.suppliers.reserve(shard.selection.chosen.size());
+    std::uint32_t chosen_count = 0;
     // Commit the chosen suppliers and release the rest, in reply order —
-    // the canonical delivery order, identical for every partitioning.
+    // the canonical delivery order, identical for every partitioning. The
+    // chosen ids ride the shard's admission-order FIFO (see SessionEnd).
     for (std::size_t r = 0; r < attempt.replies.size(); ++r) {
       const bool chosen = std::find(shard.selection.chosen.begin(),
                                     shard.selection.chosen.end(),
                                     r) != shard.selection.chosen.end();
-      send(shard, p, attempt.replies[r].from,
-           Msg{chosen ? MsgKind::kCommit : MsgKind::kRelease, p.cls,
+      send(shard, local, core::PeerId{attempt.replies[r].from},
+           Msg{chosen ? MsgKind::kCommit : MsgKind::kRelease, cls,
                attempt.session});
-      if (chosen) end.suppliers.push_back(attempt.replies[r].from);
+      if (chosen) {
+        shard.chosen_fifo.push_back(attempt.replies[r].from);
+        ++chosen_count;
+      }
     }
     // Theorem-1 buffering delay of the chosen classes (OTS assignment).
     shard.classes_scratch.clear();
     for (const std::size_t r : shard.selection.chosen) {
-      shard.classes_scratch.push_back(attempt.replies[r].cls);
+      shard.classes_scratch.push_back(
+          static_cast<core::PeerClass>(attempt.replies[r].cls));
     }
     totals.delay_dt_sum +=
         core::ots_assignment(shard.classes_scratch).min_buffering_delay_dt();
-    shard.ends.schedule(now + config_.session_duration, std::move(end));
+    shard.ends.schedule(now + config_.session_duration,
+                        SessionEnd{attempt.session, local, chosen_count});
+    // Admitted: the peer's remaining sends (commit flight done, session
+    // teardown, grants as a supplier) draw only when loss or a randomized
+    // latency model demands it — otherwise its stream is over, and the
+    // pool slot goes back for the next hydration.
+    if (sends_draw_free_) release_rng(shard, local);
   } else {
     ++totals.rejections;
     for (const Reply& reply : attempt.replies) {
-      send(shard, p, reply.from,
-           Msg{MsgKind::kRelease, p.cls, attempt.session});
+      send(shard, local, core::PeerId{reply.from},
+           Msg{MsgKind::kRelease, cls, attempt.session});
     }
-    shard.retries.schedule(p.backoff.on_rejected(), self);
+    const std::uint64_t word = bump_rejections(shard.word[local]);
+    shard.word[local] = word;
+    shard.retries.schedule(
+        core::scaled_backoff(config_.protocol.t_bkf, config_.protocol.e_bkf,
+                             req_rejections(word) - 1),
+        local);
+    // Rejected: the stream sleeps until the next attempt samples again.
+    // With draw-free sends that is the only future draw site, so park the
+    // stream as a draw count instead of 32 resident bytes — in a saturated
+    // run this is the difference between an activity-sized pool and one
+    // live xoshiro per requester (docs/memory.md).
+    if (sends_draw_free_) demote_rng(shard, local);
   }
 
-  p.attempt = kNoAttempt;
-  ++p.attempt_epoch;  // parks any pending deadline as stale
+  shard.aux[local] = kNoAttempt;
+  shard.word[local] = bump_epoch(shard.word[local]);  // parks stale deadlines
   release_attempt(shard, index);
 }
 
-void ShardedSystem::finish_session(Shard& shard, SessionEnd&& end) {
-  LocalPeer& p = shard.peers[end.peer_local];
+void ShardedSystem::finish_session(Shard& shard, const SessionEnd& end) {
+  const core::PeerClass cls = class_of(global_id(shard.index, end.peer_local));
   // Teardown: one EndSession per supplier (loss is survivable — every
-  // committed supplier also runs a lazy session watchdog).
-  for (const core::PeerId supplier : end.suppliers) {
-    send(shard, p, supplier, Msg{MsgKind::kEnd, p.cls, end.session});
+  // committed supplier also runs a lazy session watchdog). Sessions finish
+  // in admission order, so this session's suppliers are exactly the front
+  // `supplier_count` entries of the shard's chosen FIFO.
+  for (std::uint32_t i = 0; i < end.supplier_count; ++i) {
+    P2PS_CHECK(!shard.chosen_fifo.empty());
+    const std::uint32_t supplier = shard.chosen_fifo.front();
+    shard.chosen_fifo.pop_front();
+    send(shard, end.peer_local, core::PeerId{supplier},
+         Msg{MsgKind::kEnd, cls, end.session});
   }
   --shard.sessions_active;
   ++shard.sessions_completed;
@@ -488,17 +694,20 @@ void ShardedSystem::finish_session(Shard& shard, SessionEnd&& end) {
 }
 
 void ShardedSystem::make_supplier(Shard& shard, std::uint32_t local) {
-  LocalPeer& p = shard.peers[local];
-  P2PS_CHECK(p.status == SupplierStatus::kNone);
-  p.status = SupplierStatus::kFree;
-  shard.capacity_units += core::Bandwidth::class_offer(p.cls).units();
+  P2PS_CHECK(shard.status_of(local) == SupplierStatus::kNone);
+  shard.set_status(local, SupplierStatus::kFree);
+  // Phase handoff: word/aux now belong to the supplier machinery.
+  shard.word[local] = 0;
+  shard.aux[local] = 0;
+  const core::PeerId self = global_id(shard.index, local);
+  shard.capacity_units += core::Bandwidth::class_offer(class_of(self)).units();
   ++shard.suppliers;
   // Probe-visible exactly one lookahead window from now: late enough that
   // no query in the current window can see it (partition-independence),
   // as tight as the conservative protocol allows.
   join_buffers_[static_cast<std::size_t>(shard.index)].push_back(
-      Directory::Entry{shard.sim.now() + lookahead_,
-                       global_id(shard.index, local), p.cls});
+      Directory::Join{to_ms32(shard.sim.now() + lookahead_),
+                      static_cast<std::uint32_t>(self.value())});
 }
 
 void ShardedSystem::take_sample(Shard& shard, util::SimTime t) {
@@ -541,11 +750,13 @@ ShardedResult ShardedSystem::run() {
   for (std::int64_t s = 0; s < config_.population.seeds; ++s) {
     const core::PeerId peer{static_cast<std::uint64_t>(s)};
     Shard& shard = *shards_[static_cast<std::size_t>(shard_of(peer))];
-    LocalPeer& p = shard.peers[local_index(peer)];
-    p.status = SupplierStatus::kFree;
-    shard.capacity_units += core::Bandwidth::class_offer(p.cls).units();
+    const std::uint32_t local = local_index(peer);
+    shard.set_status(local, SupplierStatus::kFree);
+    shard.word[local] = 0;
+    shard.aux[local] = 0;
+    shard.capacity_units += core::Bandwidth::class_offer(class_of(peer)).units();
     ++shard.suppliers;
-    directory_.enqueue(util::SimTime::zero(), peer, p.cls);
+    directory_.enqueue(0, static_cast<std::uint32_t>(peer.value()));
   }
 
   // Per-shard lazy arrival walkers and hourly samplers.
@@ -580,8 +791,8 @@ ShardedResult ShardedSystem::run() {
   callbacks.at_barrier = [this](util::SimTime) {
     router_.exchange();
     for (auto& joins : join_buffers_) {
-      for (const Directory::Entry& join : joins) {
-        directory_.enqueue(join.visible, join.peer, join.cls);
+      for (const Directory::Join& join : joins) {
+        directory_.enqueue(join.visible_ms, join.peer);
       }
       joins.clear();  // capacity kept
     }
@@ -622,6 +833,8 @@ ShardedResult ShardedSystem::run() {
     result.messages_sent += shard.sent;
     result.messages_dropped += shard.dropped;
     result.messages_delivered += shard.delivered;
+    result.pool_allocations += shard.pool_allocations;
+    result.pool_reuses += shard.pool_reuses;
     result.per_shard.push_back(ShardMechanics{
         shard.sim.executed_count(),
         static_cast<std::int64_t>(shard.sim.peak_pending_count()), shard.sent});
@@ -631,7 +844,10 @@ ShardedResult ShardedSystem::run() {
       core::capacity(core::Bandwidth::from_units(capacity_units));
   result.max_capacity = workload::max_possible_capacity(config_.population);
   result.cross_shard_messages = router_.cross_shard_total();
+  result.pool_allocations += router_.pool_allocations();
+  result.pool_reuses += router_.pool_reuses();
   result.windows = runner.windows();
+  result.windows_idle_skipped = runner.idle_skips();
   result.peak_rss_bytes = process_peak_rss_bytes();
   return result;
 }

@@ -25,6 +25,20 @@
 //     sums, counts); every mean/rate is derived once after the merge, so
 //     floating-point non-associativity cannot leak shard structure.
 //
+// Memory layout (the 10M-peer campaign, docs/memory.md): per-peer state is
+// a hot/cold structure-of-arrays split. The hot side is five dense
+// per-shard arrays — a 64-bit phase word (requester: packed first-request
+// tick / attempt epoch / backoff rejections; supplier: held session id), a
+// 32-bit aux word (requester: attempt pool slot; supplier: hold-expiry
+// tick), a 32-bit send seq, a 32-bit RNG pool slot, and a flags byte —
+// 21 bytes/peer. Everything cold (RNG state, attempt replies, chosen
+// supplier lists) lives in free-list pools sized by *concurrent activity*,
+// not population: per-peer Rng substreams are hydrated lazily on first
+// draw (bit-identical by Rng::substream purity) and released once a peer
+// can never draw again; chosen-supplier lists ride a FIFO ring because
+// session ends complete in admission order. All engine times fit 32-bit
+// milliseconds (validate() bounds every schedulable tick below 2^32 ms).
+//
 // Protocol: a documented message-level subset of DAC_p2p ("DAC-lite") —
 // Probe / Grant / Commit / Release / EndSession with silent-busy
 // suppliers, single-session holds, lazy hold expiry and lazy session
@@ -41,13 +55,12 @@
 #include <optional>
 #include <vector>
 
-#include "core/admission/requester.hpp"
 #include "core/bandwidth.hpp"
 #include "core/ids.hpp"
 #include "core/selection.hpp"
 #include "core/selection_policy.hpp"
 #include "engine/config.hpp"
-#include "engine/retry_source.hpp"
+#include "engine/retry_heap.hpp"
 #include "engine/session_end_calendar.hpp"
 #include "net/latency.hpp"
 #include "net/shard_router.hpp"
@@ -152,8 +165,14 @@ struct ShardedResult {
   /// Partition-dependent diagnostics (mechanics-only in payloads).
   std::uint64_t cross_shard_messages = 0;
   std::int64_t windows = 0;
+  std::int64_t windows_idle_skipped = 0;
   std::vector<ShardMechanics> per_shard;
   std::int64_t peak_rss_bytes = 0;
+  /// Cold-state pool traffic (engine RNG/attempt pools + router batch
+  /// pool): slots constructed fresh vs recycled off a free list. A healthy
+  /// steady state reuses far more than it allocates.
+  std::uint64_t pool_allocations = 0;
+  std::uint64_t pool_reuses = 0;
 };
 
 class ShardedSystem {
@@ -183,36 +202,51 @@ class ShardedSystem {
 
   enum class SupplierStatus : std::uint8_t { kNone, kFree, kHeld, kCommitted };
 
-  struct LocalPeer {
-    explicit LocalPeer(const ShardedConfig& config, util::Rng rng,
-                       core::PeerClass cls)
-        : rng(std::move(rng)),
-          backoff(config.protocol.t_bkf, config.protocol.e_bkf),
-          cls(cls) {}
+  // ---- hot per-peer state: five parallel arrays inside each Shard ----
+  //
+  // word (u64) — phase-dependent union:
+  //   requester phase:  [31:0]  first-request tick (ms)
+  //                     [51:32] attempt epoch (the session-id low bits and
+  //                             the staleness check for parked deadlines)
+  //                     [63:52] backoff rejection count (the whole
+  //                             RequesterBackoff: delays are re-derived
+  //                             from the count via core::scaled_backoff)
+  //   supplier phase:   the held session id (peer id << 20 | epoch)
+  // aux (u32) — requester: attempt pool slot or kNoAttempt;
+  //             supplier: hold/watchdog expiry tick (ms).
+  // send_seq (u32) — per-sender envelope counter (always live).
+  // rng_slot (u32) — tagged: bit 31 clear = live RNG pool slot index;
+  //             bit 31 set = demoted, low 31 bits hold the stream's raw
+  //             draw count so far (kRngNever = demoted with 0 draws is
+  //             the initial state). Demotion replaces 32 resident bytes
+  //             of xoshiro state with a number: rehydration re-derives
+  //             the substream and fast-forwards by the count, which is
+  //             bit-identical replay (util::Rng::draws, docs/memory.md).
+  // flags (u8) — [1:0] SupplierStatus, [2] admitted.
+  //
+  // Phase ownership: word/aux belong to the requester machinery until
+  // make_supplier() (the peer's requester life is over — every stat that
+  // reads the packed fields was taken at admission), then to the supplier
+  // machinery. Handlers for late/stale messages check the phase (flags)
+  // before touching either field, so a stale grant can never misread a
+  // hold expiry as an attempt slot.
+  static constexpr std::size_t kHotBytesPerPeer =
+      sizeof(std::uint64_t) +      // word
+      3 * sizeof(std::uint32_t) +  // aux, send_seq, rng_slot
+      sizeof(std::uint8_t);        // flags
+  static_assert(kHotBytesPerPeer <= 24,
+                "hot per-peer state must stay within the memory-campaign "
+                "budget (docs/memory.md)");
 
-    util::Rng rng;  ///< the peer's whole random universe (partition-free)
-    core::RequesterBackoff backoff;
-    core::PeerClass cls;
-    std::uint64_t send_seq = 0;  ///< per-sender envelope counter
-    /// In-flight attempt slot in the shard pool, or kNoAttempt.
-    std::uint32_t attempt = kNoAttempt;
-    /// Bumped at every attempt start and conclusion; the low bits of the
-    /// session id and the staleness check for parked deadlines.
-    std::uint32_t attempt_epoch = 0;
-    util::SimTime first_request_time = util::SimTime::zero();
-    bool admitted = false;
-    // Supplier side (single-session hold, lazily expired).
-    SupplierStatus status = SupplierStatus::kNone;
-    std::uint64_t held_session = 0;
-    util::SimTime hold_expiry = util::SimTime::zero();
-  };
-
+  /// One granted reply as recorded by the probing requester.
   struct Reply {
-    core::PeerId from;
-    core::PeerClass cls;
+    std::uint32_t from = 0;  ///< global peer id (total_peers_ < 2^32)
+    core::PeerClass cls = 0;
   };
+  static_assert(sizeof(Reply) == 8, "replies must stay 8 bytes");
 
-  /// One in-flight admission attempt (pooled per shard).
+  /// One in-flight admission attempt (pooled per shard). Pool size tracks
+  /// concurrent attempts (hundreds), not population (millions).
   struct Attempt {
     std::uint64_t session = 0;
     std::uint32_t peer_local = 0;  ///< owner's local index
@@ -224,51 +258,60 @@ class ShardedSystem {
   /// Requester deadline parked on the per-shard monotone calendar.
   struct Deadline {
     std::uint32_t peer_local = 0;
-    std::uint32_t epoch = 0;  ///< stale when != peer's attempt_epoch
+    std::uint32_t epoch = 0;  ///< stale when != peer's attempt epoch
   };
+  static_assert(sizeof(Deadline) == 8, "deadlines must stay 8 bytes");
 
-  /// One finished session pending teardown on the end calendar.
+  /// One finished session pending teardown on the end calendar. The chosen
+  /// suppliers are NOT stored inline: admissions schedule their ends in
+  /// nondecreasing time and the calendar fires FIFO, so the supplier lists
+  /// live concatenated on one per-shard ring (Shard::chosen_fifo) — each
+  /// finish pops exactly its own `supplier_count` ids off the front.
   struct SessionEnd {
-    std::uint32_t peer_local = 0;
     std::uint64_t session = 0;
-    std::vector<core::PeerId> suppliers;
+    std::uint32_t peer_local = 0;
+    std::uint32_t supplier_count = 0;
   };
+  static_assert(sizeof(SessionEnd) == 16, "session ends must stay 16 bytes");
 
   /// Globally-shared supplier directory with barrier-published joins.
   /// Entries are totally ordered by (visible tick, peer); each shard walks
   /// its own monotone cursor over the flushed prefix during a window, so
-  /// reads are lock-free and identical for every partitioning.
+  /// reads are lock-free and identical for every partitioning. Stored as
+  /// a structure of u32 arrays — 8 bytes per (eventually) supplying peer.
   class Directory {
    public:
-    struct Entry {
-      util::SimTime visible;
-      core::PeerId peer;
-      core::PeerClass cls;
+    struct Join {
+      std::uint32_t visible_ms = 0;
+      std::uint32_t peer = 0;
     };
+    static_assert(sizeof(Join) == 8, "directory joins must stay 8 bytes");
 
     explicit Directory(int num_shards)
         : cursors_(static_cast<std::size_t>(num_shards), 0) {}
 
-    /// Coordinator-only: parks a join that becomes visible at `visible`.
-    void enqueue(util::SimTime visible, core::PeerId peer, core::PeerClass cls);
+    /// Coordinator-only: parks a join that becomes visible at `visible_ms`.
+    void enqueue(std::uint32_t visible_ms, std::uint32_t peer);
     /// Coordinator-only, at window start: publishes every parked join
     /// visible at or before `through` into the flushed prefix.
     void flush_due(util::SimTime through);
     /// Shard-local: entries visible at or before `at` (monotone per shard).
     std::size_t visible_count(int shard, util::SimTime at);
-    [[nodiscard]] const Entry& at(std::size_t index) const {
-      return flushed_[index];
+    [[nodiscard]] core::PeerId peer_at(std::size_t index) const {
+      return core::PeerId{peers_[index]};
     }
 
    private:
     struct Later {
-      bool operator()(const Entry& a, const Entry& b) const {
-        if (a.visible != b.visible) return a.visible > b.visible;
-        return a.peer.value() > b.peer.value();
+      bool operator()(const Join& a, const Join& b) const {
+        if (a.visible_ms != b.visible_ms) return a.visible_ms > b.visible_ms;
+        return a.peer > b.peer;
       }
     };
-    std::vector<Entry> flushed_;  ///< sorted by (visible, peer), append-only
-    std::vector<Entry> pending_heap_;  ///< std::push_heap with Later
+    // Flushed prefix, sorted by (visible, peer), append-only, SoA.
+    std::vector<std::uint32_t> peers_;
+    std::vector<std::uint32_t> visible_ms_;
+    std::vector<Join> pending_heap_;  ///< std::push_heap with Later
     std::vector<std::size_t> cursors_;
   };
 
@@ -279,30 +322,63 @@ class ShardedSystem {
   [[nodiscard]] core::PeerId global_id(int shard, std::uint32_t local) const;
   [[nodiscard]] std::uint32_t local_index(core::PeerId peer) const;
 
-  void send(Shard& shard, LocalPeer& from, core::PeerId to, Msg msg);
+  void send(Shard& shard, std::uint32_t from_local, core::PeerId to, Msg msg);
   void first_request(Shard& shard, std::uint32_t local);
   void start_attempt(Shard& shard, std::uint32_t local);
   void conclude_attempt(Shard& shard, std::uint32_t local);
   void on_deliver(Shard& shard, const Envelope& envelope);
-  void on_probe(Shard& shard, LocalPeer& to, const Envelope& envelope);
-  void on_grant(Shard& shard, LocalPeer& to, const Envelope& envelope);
-  void finish_session(Shard& shard, SessionEnd&& end);
+  void on_probe(Shard& shard, std::uint32_t local, const Envelope& envelope);
+  void on_grant(Shard& shard, std::uint32_t local, const Envelope& envelope);
+  void finish_session(Shard& shard, const SessionEnd& end);
   void make_supplier(Shard& shard, std::uint32_t local);
   void take_sample(Shard& shard, util::SimTime t);
   /// Lazily expires an overdue hold/watchdog before reading supplier state.
-  void purge_supplier(Shard& shard, LocalPeer& peer, util::SimTime now);
+  void purge_supplier(Shard& shard, std::uint32_t local, util::SimTime now);
+
+  /// The peer's private random universe, hydrated on first draw: by
+  /// Rng::substream purity, master.substream("peer", id) derived now is
+  /// bit-identical to the stream an eager layout would have stored at
+  /// construction (docs/memory.md carries the ordering argument).
+  util::Rng& rng_of(Shard& shard, std::uint32_t local);
+  /// Returns the slot to the free list once the peer can never draw again
+  /// (admitted, and the send path is draw-free for this config).
+  void release_rng(Shard& shard, std::uint32_t local);
+  /// Returns the slot to the free list keeping only the draw count in
+  /// rng_slot — for a peer that will draw again (a rejected requester in
+  /// backoff) but not until its next attempt. Only valid when sends are
+  /// draw-free: then a requester's stream is touched exclusively inside
+  /// its own attempt lifecycle, so between attempts the count alone pins
+  /// the stream position and rng_of can rehydrate bit-identically.
+  void demote_rng(Shard& shard, std::uint32_t local);
 
   std::uint32_t acquire_attempt(Shard& shard);
   void release_attempt(Shard& shard, std::uint32_t index);
 
   static constexpr std::uint32_t kNoAttempt = 0xFFFFFFFFu;
+  /// rng_slot tagging: bit 31 set = demoted (low 31 bits = draw count).
+  static constexpr std::uint32_t kRngDemotedBit = 0x80000000u;
+  static constexpr std::uint32_t kRngCountMask = 0x7FFFFFFFu;
+  /// Initial rng_slot value: demoted with zero draws — "never hydrated"
+  /// and "demoted after n=0 draws" are the same state by construction.
+  static constexpr std::uint32_t kRngNever = kRngDemotedBit;
 
   ShardedConfig config_;
   util::SimTime lookahead_;
+  /// The master generator (state never advanced after seeding) — the pure
+  /// root every lazily-hydrated per-peer substream derives from.
+  util::Rng master_;
+  /// Scratch sink for deterministic latency models: sample() never draws
+  /// from it (LatencyModel::deterministic() is the guarantee), so the
+  /// send path can skip hydrating the sender's stream entirely.
+  util::Rng null_rng_;
+  /// True when no send can ever draw (zero loss + deterministic latency):
+  /// admitted peers' streams are released back to the pool, so live RNG
+  /// state tracks in-flight attempts instead of population.
+  bool sends_draw_free_ = false;
   /// Global immutable class map: classes are drawn once from the master
   /// seed's "population" substream, before sharding — identical for every
-  /// shard count.
-  std::vector<core::PeerClass> requester_classes_;
+  /// shard count. Stored as one byte per requester (classes are 1..4).
+  std::vector<std::uint8_t> requester_classes_;
   workload::ArrivalSchedule arrivals_;
   Router router_;
   Directory directory_;
@@ -311,7 +387,7 @@ class ShardedSystem {
   /// into the directory at the barrier by the coordinator. (All selection
   /// and sampling scratch lives inside each Shard — shards are
   /// thread-confined during windows.)
-  std::vector<std::vector<Directory::Entry>> join_buffers_;
+  std::vector<std::vector<Directory::Join>> join_buffers_;
   std::int64_t total_peers_ = 0;
   bool ran_ = false;
 };

@@ -7,6 +7,17 @@
 // tables and the hop counts are recorded, so tests and benchmarks can
 // verify the O(log n) routing bound.
 //
+// Representation: the ring is one dense vector of nodes sorted by ring
+// position, searched by std::lower_bound — no std::map node allocations,
+// no id->position hash map. Every routing step is a binary search over a
+// contiguous array (cache-friendly; a 4096-entry ring fits in L2), and
+// membership updates are O(n) inserts, which is fine at directory scale
+// and far off the routing hot path. The id->node lookup rides the same
+// array: a peer's home slot is ring_position(id), and the astronomically
+// rare position collision linear-probes upward at register time, so a
+// find only has to binary-search home + 0..max_probe_offset_ (0 in any
+// realistic run).
+//
 // Scope note (documented substitution): ring membership is updated
 // atomically at register/deregister time — the stabilization/gossip
 // protocol that repairs fingers after churn is not simulated, because the
@@ -15,8 +26,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "lookup/lookup_service.hpp"
@@ -60,18 +69,37 @@ class ChordLookup final : public LookupService {
   void reset_stats() { stats_ = {}; }
 
  private:
+  /// One ring node: its position and the candidate it serves.
+  struct Node {
+    std::uint64_t pos = 0;
+    CandidateInfo info;
+  };
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
   /// Clockwise distance from `a` to `b` on the 2^64 ring.
   [[nodiscard]] static std::uint64_t clockwise(std::uint64_t a, std::uint64_t b) {
     return b - a;  // wraps mod 2^64 by construction
   }
 
   /// Finger i of the node at `pos`: owner of pos + 2^i.
-  [[nodiscard]] std::uint64_t finger_target(std::uint64_t pos, int i) const {
+  [[nodiscard]] static std::uint64_t finger_target(std::uint64_t pos, int i) {
     return pos + (std::uint64_t{1} << i);
   }
 
-  std::map<std::uint64_t, CandidateInfo> ring_;          // position -> node
-  std::unordered_map<core::PeerId, std::uint64_t> pos_;  // id -> position
+  /// Index of the first node at position >= key (possibly nodes_.size()).
+  [[nodiscard]] std::size_t lower_index(std::uint64_t key) const;
+  /// Index of the node owning `key` (its successor, wrapping). Requires a
+  /// non-empty ring.
+  [[nodiscard]] std::size_t owner_index(std::uint64_t key) const;
+  /// Index of the node registered as `id`, or kNpos. Probes the id's home
+  /// position plus the collision offsets ever used (normally just home).
+  [[nodiscard]] std::size_t find_index(core::PeerId id) const;
+
+  std::vector<Node> nodes_;  // sorted by pos
+  /// Largest linear-probe offset any register ever needed (collisions are
+  /// astronomically rare, so this stays 0 and find_index is one search).
+  std::uint64_t max_probe_offset_ = 0;
   ChordStats stats_;
   std::vector<core::PeerId> scratch_seen_;  // reused by candidates_into
 };

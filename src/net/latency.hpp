@@ -144,6 +144,27 @@ struct LatencyModel {
     return util::SimTime::zero();
   }
 
+  /// True when sample() never consumes a draw, for any endpoint pair:
+  /// kFixed and kTwoClass are pure functions of the endpoints, and a
+  /// zero-spread kUniform short-circuits before its draw. Engines that
+  /// hydrate per-peer RNG substreams lazily (the sharded engine's compact
+  /// state) use this to release a peer's stream once its remaining sends
+  /// can never draw again — the guarantee must match sample()'s draw
+  /// behaviour exactly, or the draw sequence (and so the output) changes.
+  [[nodiscard]] bool deterministic() const {
+    switch (kind) {
+      case LatencyModelKind::kFixed:
+      case LatencyModelKind::kTwoClass:
+        return true;
+      case LatencyModelKind::kUniform:
+        return min == max;
+      case LatencyModelKind::kLogNormal:
+        return false;  // Box–Muller always consumes both draws
+    }
+    P2PS_CHECK_MSG(false, "unreachable latency model kind");
+    return false;
+  }
+
   /// Latency of one message. kUniform consumes one draw and kLogNormal two
   /// (Box–Muller); the other models are deterministic functions of the
   /// endpoints, which is what makes whole probe fan-outs land on one

@@ -26,6 +26,16 @@
 //     delivery groups at the barrier, by the coordinator, while workers
 //     are parked — the only moment an envelope crosses a thread boundary.
 //
+// Steady state is allocation-free: delivery groups come off a free list
+// (entry vectors keep their capacity across reuse), outbox rows keep
+// theirs, and the tick -> group index is an open-addressed power-of-two
+// ring rather than a hash map. The ring works because live delivery ticks
+// always span less than the model's maximum latency: two distinct ticks
+// t1 != t2 with |t1 - t2| < ring size cannot share tick mod ring size, so
+// once the ring outgrows the live span every live tick owns its slot
+// uniquely. On a collision the ring doubles and every live group rehashes
+// — a handful of doublings early in a run, then never again.
+//
 // Thread-safety: during a window, shard s's engine may call send(s, ...)
 // from its own thread; that touches only shard s's outbox row and shard
 // s's own delivery groups (local sends). exchange() and bind() are
@@ -35,7 +45,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -66,6 +75,7 @@ class ShardRouter {
                      "conservative lookahead must be at least one tick");
     for (Port& port : ports_) {
       port.outbox.resize(static_cast<std::size_t>(num_shards_));
+      port.ring.assign(kInitialRingSlots, kNoGroup);
     }
   }
   ShardRouter(const ShardRouter&) = delete;
@@ -136,9 +146,19 @@ class ShardRouter {
   [[nodiscard]] std::uint64_t sent_total() const { return sent_total_; }
   [[nodiscard]] std::uint64_t cross_shard_total() const { return cross_shard_total_; }
 
+  /// Delivery-group pool traffic: groups constructed fresh vs recycled off
+  /// a free list (entry capacity kept). A healthy steady state reuses far
+  /// more than it allocates.
+  [[nodiscard]] std::uint64_t pool_allocations() const { return pool_allocations_; }
+  [[nodiscard]] std::uint64_t pool_reuses() const { return pool_reuses_; }
+
   /// Delivery groups currently pending on one shard (tests/diagnostics).
   [[nodiscard]] std::size_t pending_groups(int shard) const {
-    return port_at(shard).groups_by_tick.size();
+    return port_at(shard).live_groups;
+  }
+  /// Current tick-ring capacity of one shard (tests/diagnostics).
+  [[nodiscard]] std::size_t ring_slots(int shard) const {
+    return port_at(shard).ring.size();
   }
 
  private:
@@ -154,20 +174,20 @@ class ShardRouter {
     Handler on_deliver;
     /// Pending cross-shard envelopes, one row per destination shard.
     std::vector<std::vector<Envelope>> outbox;
-    /// tick (ms) -> index into `groups` for not-yet-drained batches.
-    std::unordered_map<std::int64_t, std::uint32_t> groups_by_tick;
+    /// Open-addressed tick -> group index: slot = tick mod ring size
+    /// (power of two). Uniqueness holds because live ticks span less than
+    /// the ring size (see file header); a collision doubles the ring.
+    std::vector<std::uint32_t> ring;
     std::vector<Group> groups;
     std::uint32_t free_head = kNoGroup;
-    /// One-entry cache: most sends hit the same delivery tick repeatedly
-    /// (fixed-latency fan-outs), skipping the hash probe.
-    std::int64_t last_tick_ms = -1;
-    std::uint32_t last_group = kNoGroup;
+    std::size_t live_groups = 0;
     /// Drain scratch, swapped with a group's entries so reentrant sends
     /// from handlers can grow `groups` safely mid-drain.
     std::vector<Envelope> drain_scratch;
   };
 
   static constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;
+  static constexpr std::size_t kInitialRingSlots = 64;
 
   Port& port_at(int shard) {
     P2PS_REQUIRE(shard >= 0 && shard < num_shards_);
@@ -178,24 +198,52 @@ class ShardRouter {
     return ports_[static_cast<std::size_t>(shard)];
   }
 
+  [[nodiscard]] static std::size_t slot_of(const Port& port, std::int64_t tick_ms) {
+    return static_cast<std::size_t>(tick_ms) & (port.ring.size() - 1);
+  }
+
+  /// Doubles the ring until every live group owns a unique slot. Each
+  /// doubling is attempted whole; a collision mid-rehash just doubles
+  /// again. Terminates because live ticks span less than the model's
+  /// maximum latency: once the ring size exceeds that span, distinct live
+  /// ticks cannot share tick mod ring size.
+  void grow_ring(Port& port) {
+    for (;;) {
+      std::vector<std::uint32_t> next(port.ring.size() * 2, kNoGroup);
+      bool clean = true;
+      for (const std::uint32_t index : port.ring) {
+        if (index == kNoGroup) continue;
+        const std::size_t slot = static_cast<std::size_t>(port.groups[index].tick_ms) &
+                                 (next.size() - 1);
+        if (next[slot] != kNoGroup) {
+          clean = false;
+          break;
+        }
+        next[slot] = index;
+      }
+      port.ring.swap(next);
+      if (clean) return;
+    }
+  }
+
   void enqueue(Port& port, Envelope envelope) {
     const std::int64_t tick_ms = envelope.deliver_at.as_millis();
-    std::uint32_t index;
-    if (port.last_tick_ms == tick_ms && port.last_group != kNoGroup) {
-      index = port.last_group;
-    } else if (const auto it = port.groups_by_tick.find(tick_ms);
-               it != port.groups_by_tick.end()) {
-      index = it->second;
-    } else {
+    std::size_t slot = slot_of(port, tick_ms);
+    while (port.ring[slot] != kNoGroup &&
+           port.groups[port.ring[slot]].tick_ms != tick_ms) {
+      grow_ring(port);
+      slot = slot_of(port, tick_ms);
+    }
+    std::uint32_t index = port.ring[slot];
+    if (index == kNoGroup) {
       index = acquire_group(port, tick_ms);
-      port.groups_by_tick.emplace(tick_ms, index);
+      port.ring[slot] = index;
+      ++port.live_groups;
       const int port_index = static_cast<int>(&port - ports_.data());
       port.simulator->schedule_at(
           envelope.deliver_at,
           [this, port_index, index] { drain(port_at(port_index), index); });
     }
-    port.last_tick_ms = tick_ms;
-    port.last_group = index;
     port.groups[index].entries.push_back(std::move(envelope));
   }
 
@@ -204,10 +252,12 @@ class ShardRouter {
     if (port.free_head != kNoGroup) {
       index = port.free_head;
       port.free_head = port.groups[index].next_free;
+      ++pool_reuses_;
     } else {
       P2PS_CHECK_MSG(port.groups.size() < kNoGroup, "delivery group pool exhausted");
       port.groups.emplace_back();
       index = static_cast<std::uint32_t>(port.groups.size() - 1);
+      ++pool_allocations_;
     }
     port.groups[index].tick_ms = tick_ms;
     return index;
@@ -217,11 +267,10 @@ class ShardRouter {
     Group& group = port.groups[index];
     P2PS_CHECK(port.drain_scratch.empty());
     port.drain_scratch.swap(group.entries);
-    port.groups_by_tick.erase(group.tick_ms);
-    if (port.last_group == index) {
-      port.last_tick_ms = -1;
-      port.last_group = kNoGroup;
-    }
+    const std::size_t slot = slot_of(port, group.tick_ms);
+    P2PS_CHECK(port.ring[slot] == index);
+    port.ring[slot] = kNoGroup;
+    --port.live_groups;
     group.next_free = port.free_head;
     port.free_head = index;
     // The canonical order: every key component is a property of the
@@ -244,6 +293,8 @@ class ShardRouter {
   std::vector<Port> ports_;
   std::uint64_t sent_total_ = 0;
   std::uint64_t cross_shard_total_ = 0;
+  std::uint64_t pool_allocations_ = 0;
+  std::uint64_t pool_reuses_ = 0;
 };
 
 }  // namespace p2ps::net

@@ -120,6 +120,10 @@ std::string strip_event_mechanics(std::string json_text) {
       "\"events_executed\":",
       "\"timer_events_scheduled\":",
       "\"peak_rss_bytes\":",
+      "\"bytes_per_peer\":",
+      "\"pool_allocations\":",
+      "\"pool_reuses\":",
+      "\"windows_idle_skipped\":",
   };
   std::string out;
   out.reserve(json_text.size());

@@ -120,8 +120,19 @@ Json sharded_result_to_json(const ScenarioOptions& options,
     mechanics.set("shards", config.shards);
     mechanics.set("threads", config.threads);
     mechanics.set("windows", result.windows);
+    mechanics.set("windows_idle_skipped", result.windows_idle_skipped);
     mechanics.set("cross_shard_messages", result.cross_shard_messages);
     mechanics.set("peak_rss_bytes", result.peak_rss_bytes);
+    // The memory campaign's headline number: whole-process peak RSS over
+    // the whole population (docs/memory.md). Includes every fixed cost
+    // (binary, directory, arrival schedule), so it upper-bounds the
+    // per-peer footprint honestly.
+    const std::int64_t total_peers =
+        config.population.seeds + config.population.requesters;
+    mechanics.set("bytes_per_peer",
+                  total_peers > 0 ? result.peak_rss_bytes / total_peers : 0);
+    mechanics.set("pool_allocations", result.pool_allocations);
+    mechanics.set("pool_reuses", result.pool_reuses);
     Json per_shard = Json::array();
     for (const auto& shard : result.per_shard) {
       Json one = Json::object();
@@ -181,6 +192,34 @@ Json perf_sharded_scale(const ScenarioOptions& options) {
   return out;
 }
 
+// ---- perf_sharded_10m: the ten-million-peer point — 10,000,000
+// requesters against 20,000 seeds, same shape as perf_sharded_scale ×10.
+// Only viable because per-peer state is the compact hot/cold split
+// (docs/memory.md): ~21 hot bytes/peer plus activity-sized pools, so the
+// whole 10,020,000-peer run fits a few hundred MB of RSS. The BENCH_8
+// workload ----
+
+Json perf_sharded_10m(const ScenarioOptions& options) {
+  auto config = sharded_config(options, /*default_shards=*/10,
+                               net::LatencyModelKind::kFixed);
+  config.population.seeds = 20'000;
+  config.population.requesters = 10'000'000;
+  config.pattern = workload::ArrivalPattern::kConstant;
+  config.arrival_window = SimTime::hours(2);
+  config.horizon = SimTime::hours(4);
+  workload::apply_population_divisor(config.population, options.scale);
+
+  engine::ShardedSystem system(std::move(config));
+  const auto result = system.run();
+  Json out = Json::object();
+  out.set("population", system.config().population.seeds +
+                            system.config().population.requesters);
+  out.set("latency", std::string(net::to_string(system.config().latency.kind)));
+  out.set("drop_probability", system.config().loss);
+  out.set("run", sharded_result_to_json(options, system.config(), result, 1));
+  return out;
+}
+
 }  // namespace
 
 void register_sharded_scenarios(Registry& registry) {
@@ -194,6 +233,11 @@ void register_sharded_scenarios(Registry& registry) {
                 "fixed latency; per-shard throughput and memory mechanics "
                 "behind --mechanics (BENCH_7)",
                 perf_sharded_scale});
+  registry.add({"perf_sharded_10m",
+                "Perf — 10,020,000 peers across N shards (default 10) under "
+                "fixed latency; the compact-peer-state memory campaign's "
+                "headline run, bytes/peer behind --mechanics (BENCH_8)",
+                perf_sharded_10m});
 }
 
 }  // namespace p2ps::scenario

@@ -98,11 +98,15 @@ void ShardRunner::run(util::SimTime horizon, const Callbacks& callbacks) {
     ++windows_;
   };
 
+  util::SimTime prev_end = util::SimTime::zero();
   for (;;) {
     std::optional<util::SimTime> min_next;
     for (int shard = 0; shard < num_shards_; ++shard) {
       const auto next = callbacks.next_event_time(shard);
       if (next && (!min_next || *next < *min_next)) min_next = next;
+    }
+    if (min_next && *min_next > prev_end + util::SimTime::millis(1)) {
+      ++idle_skips_;  // the window start jumped an idle gap
     }
     if (!min_next || *min_next > horizon) {
       // Nothing (left) inside the horizon: one final window parks every
@@ -114,6 +118,7 @@ void ShardRunner::run(util::SimTime horizon, const Callbacks& callbacks) {
         std::min(*min_next + lookahead_ - util::SimTime::millis(1), horizon);
     run_window(t1);
     if (t1 >= horizon) return;
+    prev_end = t1;
   }
 }
 

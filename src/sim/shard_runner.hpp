@@ -67,11 +67,18 @@ class ShardRunner {
   /// Windows executed (= barriers passed) by run().
   [[nodiscard]] std::int64_t windows() const { return windows_; }
 
+  /// Windows whose start jumped past idle time: the earliest pending event
+  /// lay strictly beyond the previous window's end, so the runner skipped
+  /// the gap instead of barriering through it tick by tick. High values
+  /// mean sparse phases (backoff tails) are being crossed cheaply.
+  [[nodiscard]] std::int64_t idle_skips() const { return idle_skips_; }
+
  private:
   int num_shards_;
   util::SimTime lookahead_;
   int threads_;
   std::int64_t windows_ = 0;
+  std::int64_t idle_skips_ = 0;
   bool ran_ = false;
 };
 

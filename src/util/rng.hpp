@@ -45,6 +45,7 @@ class Rng {
   void reseed(std::uint64_t seed) {
     std::uint64_t sm = seed;
     for (auto& s : state_) s = splitmix64(sm);
+    draws_ = 0;
   }
 
   /// Derives an independent generator for a named purpose.
@@ -56,6 +57,14 @@ class Rng {
   }
 
   /// Substream keyed by label and index (e.g. one stream per peer).
+  ///
+  /// The derivation reads this generator's state without advancing it, so
+  /// `master.substream(label, i)` is a pure function of (master seed,
+  /// label, i): deriving a stream eagerly at construction and deriving it
+  /// lazily on first draw yield bit-identical generators. That purity is
+  /// what lets engines hydrate per-entity streams on demand from a pool
+  /// instead of storing all N upfront (the sharded engine's lazy RNG
+  /// hydration, docs/memory.md) without perturbing any seeded result.
   [[nodiscard]] Rng substream(std::string_view label, std::uint64_t index) const {
     std::uint64_t mix = hash_label(label) ^ (index * 0xD1342543DE82EF95ULL + 0x63652362ULL);
     return Rng(state_[0] ^ (state_[3] * 0x2545F4914F6CDD1DULL) ^ mix);
@@ -65,6 +74,19 @@ class Rng {
   [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
 
   result_type operator()() { return next(); }
+
+  /// Raw 64-bit outputs produced since construction/reseed. Every helper
+  /// (uniform_below's rejection loop included) goes through next(), so the
+  /// count plus the seed fully determines the stream position: a fresh
+  /// generator with the same seed advanced by discard(draws()) is
+  /// bit-identical to this one. The sharded engine's demote-to-count RNG
+  /// slots rest on exactly this (docs/memory.md).
+  [[nodiscard]] std::uint64_t draws() const { return draws_; }
+
+  /// Advances the stream by `n` raw outputs, discarding them.
+  void discard(std::uint64_t n) {
+    while (n-- > 0) (void)next();
+  }
 
   /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
   [[nodiscard]] std::uint64_t uniform_below(std::uint64_t bound);
@@ -111,6 +133,7 @@ class Rng {
 
  private:
   std::uint64_t next() {
+    ++draws_;
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -127,6 +150,7 @@ class Rng {
   }
 
   std::array<std::uint64_t, 4> state_{};
+  std::uint64_t draws_ = 0;
 };
 
 }  // namespace p2ps::util

@@ -95,9 +95,25 @@ ArrivalSchedule ArrivalSchedule::make_sampled(ArrivalPattern pattern,
   return ArrivalSchedule(pieces_for(pattern, window), total, &rng);
 }
 
+ArrivalSchedule ArrivalSchedule::make_lazy(ArrivalPattern pattern,
+                                           std::int64_t total,
+                                           util::SimTime window) {
+  P2PS_REQUIRE(total >= 0);
+  P2PS_REQUIRE(window > util::SimTime::zero());
+  return ArrivalSchedule(pieces_for(pattern, window), total, nullptr,
+                         /*lazy=*/true);
+}
+
+const std::vector<util::SimTime>& ArrivalSchedule::times() const {
+  P2PS_REQUIRE_MSG(!lazy_, "times() is unavailable on a lazy schedule");
+  return times_;
+}
+
 ArrivalSchedule::ArrivalSchedule(std::vector<RatePiece> pieces, std::int64_t total,
-                                 util::Rng* rng)
-    : pieces_(std::move(pieces)) {
+                                 util::Rng* rng, bool lazy)
+    : pieces_(std::move(pieces)), total_(total), lazy_(lazy) {
+  P2PS_REQUIRE_MSG(!(lazy && rng != nullptr),
+                   "sampled schedules cannot be lazy (times must be sorted)");
   double weight_sum = 0.0;
   for (const auto& piece : pieces_) {
     P2PS_REQUIRE(piece.duration > util::SimTime::zero());
@@ -109,38 +125,22 @@ ArrivalSchedule::ArrivalSchedule(std::vector<RatePiece> pieces, std::int64_t tot
   for (auto& piece : pieces_) piece.weight /= weight_sum;
 
   // Arrival placement: each arrival corresponds to a quantile q of the
-  // piecewise-linear CDF, inverted exactly within its piece. Deterministic
-  // mode uses the evenly spaced q = (i+0.5)/total (exact cumulative curve);
-  // sampled mode draws q ~ U[0,1) i.i.d. — a Poisson process conditioned on
-  // the exact total.
+  // piecewise-linear CDF, inverted exactly within its piece
+  // (quantile_time). Deterministic mode uses the evenly spaced
+  // q = (i+0.5)/total (exact cumulative curve); sampled mode draws
+  // q ~ U[0,1) i.i.d. — a Poisson process conditioned on the exact total.
+  // Lazy mode materialises nothing: deterministic placement is a pure
+  // function of the index, so arrival_at computes it on demand.
+  if (lazy_) return;
   times_.reserve(static_cast<std::size_t>(total));
-  auto invert_cdf = [&](double q) {
-    double cdf_before = 0.0;
-    util::SimTime piece_start = util::SimTime::zero();
-    std::size_t piece_index = 0;
-    while (piece_index + 1 < pieces_.size() &&
-           cdf_before + pieces_[piece_index].weight <= q) {
-      cdf_before += pieces_[piece_index].weight;
-      piece_start += pieces_[piece_index].duration;
-      ++piece_index;
-    }
-    const RatePiece& piece = pieces_[piece_index];
-    const double within = piece.weight > 0.0 ? (q - cdf_before) / piece.weight : 0.0;
-    const auto offset_ms = static_cast<std::int64_t>(
-        std::floor(within * static_cast<double>(piece.duration.as_millis())));
-    return piece_start + util::SimTime::millis(offset_ms);
-  };
-
   if (rng == nullptr) {
-    // Deterministic: increasing q, so the linear piece walk in invert_cdf
-    // could be shared; totals are small enough that clarity wins.
     for (std::int64_t i = 0; i < total; ++i) {
       times_.push_back(
-          invert_cdf((static_cast<double>(i) + 0.5) / static_cast<double>(total)));
+          quantile_time((static_cast<double>(i) + 0.5) / static_cast<double>(total)));
     }
   } else {
     for (std::int64_t i = 0; i < total; ++i) {
-      times_.push_back(invert_cdf(rng->uniform01()));
+      times_.push_back(quantile_time(rng->uniform01()));
     }
     std::sort(times_.begin(), times_.end());
   }
@@ -148,12 +148,29 @@ ArrivalSchedule::ArrivalSchedule(std::vector<RatePiece> pieces, std::int64_t tot
   P2PS_ENSURE(times_.empty() || times_.back() < window_);
 }
 
+util::SimTime ArrivalSchedule::quantile_time(double q) const {
+  double cdf_before = 0.0;
+  util::SimTime piece_start = util::SimTime::zero();
+  std::size_t piece_index = 0;
+  while (piece_index + 1 < pieces_.size() &&
+         cdf_before + pieces_[piece_index].weight <= q) {
+    cdf_before += pieces_[piece_index].weight;
+    piece_start += pieces_[piece_index].duration;
+    ++piece_index;
+  }
+  const RatePiece& piece = pieces_[piece_index];
+  const double within = piece.weight > 0.0 ? (q - cdf_before) / piece.weight : 0.0;
+  const auto offset_ms = static_cast<std::int64_t>(
+      std::floor(within * static_cast<double>(piece.duration.as_millis())));
+  return piece_start + util::SimTime::millis(offset_ms);
+}
+
 double ArrivalSchedule::rate_per_hour_at(util::SimTime t) const {
   if (t < util::SimTime::zero() || t >= window_) return 0.0;
   util::SimTime start = util::SimTime::zero();
   for (const auto& piece : pieces_) {
     if (t < start + piece.duration) {
-      const double arrivals = piece.weight * static_cast<double>(times_.size());
+      const double arrivals = piece.weight * static_cast<double>(total_);
       return arrivals / piece.duration.as_hours();
     }
     start += piece.duration;
@@ -163,6 +180,10 @@ double ArrivalSchedule::rate_per_hour_at(util::SimTime t) const {
 
 util::SimTime ArrivalSchedule::arrival_at(std::int64_t index) const {
   P2PS_REQUIRE(index >= 0 && index < total());
+  if (lazy_) {
+    return quantile_time((static_cast<double>(index) + 0.5) /
+                         static_cast<double>(total_));
+  }
   return times_[static_cast<std::size_t>(index)];
 }
 
@@ -181,6 +202,25 @@ std::int64_t ArrivalCursor::remaining() const {
 }
 
 std::int64_t ArrivalSchedule::arrivals_between(util::SimTime from, util::SimTime to) const {
+  if (lazy_) {
+    // Bisect on the index instead of the (unmaterialised) times; arrival
+    // times are nondecreasing in the index, so this matches the eager
+    // lower_bound exactly.
+    const auto first_at_or_after = [this](util::SimTime t) {
+      std::int64_t lo = 0;
+      std::int64_t hi = total_;
+      while (lo < hi) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (arrival_at(mid) < t) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    };
+    return first_at_or_after(to) - first_at_or_after(from);
+  }
   const auto lo = std::lower_bound(times_.begin(), times_.end(), from);
   const auto hi = std::lower_bound(times_.begin(), times_.end(), to);
   return hi - lo;

@@ -92,9 +92,19 @@ class ArrivalSchedule {
                                                     util::SimTime window,
                                                     util::Rng& rng);
 
+  /// Like make(), but arrival_at(i) is computed on demand from the
+  /// (tiny) piece table instead of materialising all `total` times — O(1)
+  /// memory for arbitrarily large populations. Deterministic placement is
+  /// a pure function of the index, so lazy and eager schedules agree
+  /// bit-for-bit on every arrival_at; times() is unavailable. The sharded
+  /// engine's 10M-peer runs depend on this (docs/memory.md).
+  [[nodiscard]] static ArrivalSchedule make_lazy(ArrivalPattern pattern,
+                                                 std::int64_t total,
+                                                 util::SimTime window);
+
   /// Arrival times, sorted ascending, exactly `total` of them, all within
-  /// [0, window).
-  [[nodiscard]] const std::vector<util::SimTime>& times() const { return times_; }
+  /// [0, window). Unavailable on a make_lazy schedule.
+  [[nodiscard]] const std::vector<util::SimTime>& times() const;
 
   /// A fresh forward-only cursor over the arrival times, for lazy
   /// one-event-in-flight consumption. The schedule must outlive it.
@@ -103,10 +113,9 @@ class ArrivalSchedule {
   /// The `index`-th arrival time (0-based, ascending).
   [[nodiscard]] util::SimTime arrival_at(std::int64_t index) const;
 
-  [[nodiscard]] std::int64_t total() const {
-    return static_cast<std::int64_t>(times_.size());
-  }
+  [[nodiscard]] std::int64_t total() const { return total_; }
   [[nodiscard]] util::SimTime window() const { return window_; }
+  [[nodiscard]] bool lazy() const { return lazy_; }
 
   /// Instantaneous arrival rate at `t`, in arrivals per hour (zero outside
   /// the window). For inspection and tests.
@@ -117,11 +126,18 @@ class ArrivalSchedule {
 
  private:
   ArrivalSchedule(std::vector<RatePiece> pieces, std::int64_t total,
-                  util::Rng* rng = nullptr);
+                  util::Rng* rng = nullptr, bool lazy = false);
+
+  /// Exact inversion of the piecewise-linear CDF at quantile q — the one
+  /// placement function both the eager fill and lazy arrival_at use, so
+  /// the two modes cannot drift apart.
+  [[nodiscard]] util::SimTime quantile_time(double q) const;
 
   std::vector<RatePiece> pieces_;  // weights normalized to sum 1
   util::SimTime window_ = util::SimTime::zero();
-  std::vector<util::SimTime> times_;
+  std::int64_t total_ = 0;
+  bool lazy_ = false;
+  std::vector<util::SimTime> times_;  // empty when lazy_
 };
 
 }  // namespace p2ps::workload

@@ -254,12 +254,14 @@ TEST(StripEventMechanics, ZeroesExactlyTheMechanicsCounters) {
       "{\"events_executed\":123,\"peak_event_list\":45,"
       "\"peak_event_list_timers\":40,\"peak_event_list_other\":5,"
       "\"timer_events_scheduled\":99,\"peak_rss_bytes\":16777216,"
-      "\"admissions\":7}";
+      "\"bytes_per_peer\":42,\"pool_allocations\":17,\"pool_reuses\":9001,"
+      "\"windows_idle_skipped\":33,\"admissions\":7}";
   EXPECT_EQ(strip_event_mechanics(text),
             "{\"events_executed\":0,\"peak_event_list\":0,"
             "\"peak_event_list_timers\":0,\"peak_event_list_other\":0,"
             "\"timer_events_scheduled\":0,\"peak_rss_bytes\":0,"
-            "\"admissions\":7}");
+            "\"bytes_per_peer\":0,\"pool_allocations\":0,\"pool_reuses\":0,"
+            "\"windows_idle_skipped\":0,\"admissions\":7}");
 }
 
 TEST(RunScenario, DifferentSeedsChangeSimulationOutput) {

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/ids.hpp"
+#include "engine/retry_heap.hpp"
+#include "engine/retry_source.hpp"
 #include "engine/session_end_calendar.hpp"
 #include "engine/sharded_system.hpp"
 #include "net/latency.hpp"
@@ -129,6 +131,93 @@ TEST(SessionEndCalendar, HandlersMayReentrantlyScheduleLaterEnds) {
   EXPECT_EQ(ticks, (std::vector<std::int64_t>{2, 4, 6}));
 }
 
+/// splitmix64 finalizer — a deterministic hash, not a shared RNG stream,
+/// so every draw is a pure function of its inputs: a property of the
+/// traffic itself, never of the partitioning.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// ---------- RetryHeap (the compact RetrySource) ----------
+
+// The compact heap must be a drop-in for RetrySource: identical firing
+// times and identical order under same-tick ties, driven by the same
+// pseudo-random retry traffic (including reentrant rescheduling from the
+// handler, the engine's actual usage pattern).
+TEST(RetryHeap, FiringLogMatchesRetrySourceDifferentially) {
+  constexpr std::uint32_t kPeers = 19;
+  constexpr int kRounds = 5;
+  const auto delay_of = [](std::uint32_t peer, int round) {
+    return SimTime::millis(static_cast<std::int64_t>(
+        mix(peer * 7919u + static_cast<std::uint64_t>(round) * 104729u) % 50));
+  };
+
+  std::vector<std::pair<std::int64_t, std::uint32_t>> source_log;
+  {
+    sim::Simulator simulator;
+    std::array<int, kPeers> round{};
+    engine::RetrySource* self = nullptr;
+    engine::RetrySource source(simulator, [&](PeerId peer) {
+      const auto local = static_cast<std::uint32_t>(peer.value());
+      source_log.emplace_back(simulator.now().as_millis(), local);
+      if (++round[local] < kRounds) {
+        self->schedule(delay_of(local, round[local]), peer);
+      }
+    });
+    self = &source;
+    for (std::uint32_t peer = 0; peer < kPeers; ++peer) {
+      source.schedule(delay_of(peer, 0), PeerId{peer});
+    }
+    simulator.run_until(SimTime::hours(1));
+    EXPECT_EQ(source.waiting(), 0u);
+  }
+
+  std::vector<std::pair<std::int64_t, std::uint32_t>> heap_log;
+  {
+    sim::Simulator simulator;
+    std::array<int, kPeers> round{};
+    engine::RetryHeap* self = nullptr;
+    engine::RetryHeap heap(simulator, SimTime::hours(2),
+                           [&](std::uint32_t local) {
+                             heap_log.emplace_back(simulator.now().as_millis(),
+                                                   local);
+                             if (++round[local] < kRounds) {
+                               self->schedule(delay_of(local, round[local]),
+                                              local);
+                             }
+                           });
+    self = &heap;
+    for (std::uint32_t peer = 0; peer < kPeers; ++peer) {
+      heap.schedule(delay_of(peer, 0), peer);
+    }
+    simulator.run_until(SimTime::hours(1));
+    EXPECT_EQ(heap.waiting(), 0u);
+    EXPECT_EQ(heap.dropped_beyond_horizon(), 0u);
+  }
+
+  EXPECT_EQ(heap_log.size(), kPeers * kRounds);
+  EXPECT_EQ(heap_log, source_log);
+}
+
+// A retry due past the horizon can never fire (the runner stops at the
+// horizon), so the heap drops it at schedule() instead of parking a dead
+// 12-byte entry for the rest of the run.
+TEST(RetryHeap, DropsRetriesDueBeyondTheHorizon) {
+  sim::Simulator simulator;
+  std::vector<std::uint32_t> fired;
+  engine::RetryHeap heap(simulator, SimTime::millis(100),
+                         [&](std::uint32_t local) { fired.push_back(local); });
+  heap.schedule(SimTime::millis(100), 1);  // exactly at the horizon: kept
+  heap.schedule(SimTime::millis(101), 2);  // past it: dropped
+  EXPECT_EQ(heap.waiting(), 1u);
+  EXPECT_EQ(heap.dropped_beyond_horizon(), 1u);
+  simulator.run_until(SimTime::millis(500));
+  EXPECT_EQ(fired, (std::vector<std::uint32_t>{1}));
+}
+
 // ---------- ShardRouter ----------
 
 using IntRouter = net::ShardRouter<int>;
@@ -213,16 +302,6 @@ TEST(ShardRouter, SameTickDeliveriesDrainInCanonicalOrderNotArrivalOrder) {
 
 // ---- randomized differential: cascading traffic, any shard count ----
 
-/// splitmix64 finalizer — a deterministic hash, not a shared RNG stream,
-/// so every draw is a pure function of (sender, seq): a property of the
-/// traffic itself, never of the partitioning.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 // (deliver tick, from, sent_at, seq, hops-remaining) — one per delivery.
 using Delivery = std::tuple<std::int64_t, std::uint64_t, std::int64_t,
                             std::uint64_t, int>;
@@ -298,6 +377,43 @@ TEST(ShardRouter, CascadeDeliveryLogsMatchTheUnshardedBaseline) {
   }
 }
 
+// The tick -> group index is an open-addressed power-of-two ring: it
+// doubles until the live tick span fits, then every tick owns its slot
+// uniquely, and drained groups recycle through the free list (entry
+// capacity kept) — the steady state neither allocates nor rehashes.
+TEST(ShardRouter, TickRingGrowsToSpanLiveTicksAndRecyclesGroups) {
+  sim::Simulator simulator;
+  IntRouter router(1, SimTime::millis(10));
+  int delivered = 0;
+  router.bind(0, simulator, [&](const IntRouter::Envelope&) { ++delivered; });
+  const auto send_at = [&](std::int64_t deliver_ms) {
+    IntRouter::Envelope envelope;
+    envelope.from = PeerId{0};
+    envelope.to = PeerId{0};
+    envelope.sent_at = simulator.now();
+    envelope.deliver_at = SimTime::millis(deliver_ms);
+    router.send(0, std::move(envelope));
+  };
+  EXPECT_EQ(router.ring_slots(0), 64u);
+  // 191 distinct live ticks force two doublings (64 -> 256 > the span).
+  for (std::int64_t d = 10; d <= 200; ++d) send_at(d);
+  EXPECT_EQ(router.pending_groups(0), 191u);
+  EXPECT_EQ(router.ring_slots(0), 256u);
+  EXPECT_EQ(router.pool_allocations(), 191u);
+  EXPECT_EQ(router.pool_reuses(), 0u);
+  simulator.run_until(SimTime::millis(200));
+  EXPECT_EQ(delivered, 191);
+  EXPECT_EQ(router.pending_groups(0), 0u);
+  // A second wave on fresh ticks: every group comes off the free list and
+  // the ring never grows again.
+  for (std::int64_t d = 210; d <= 300; ++d) send_at(d);
+  EXPECT_EQ(router.pool_allocations(), 191u);
+  EXPECT_EQ(router.pool_reuses(), 91u);
+  EXPECT_EQ(router.ring_slots(0), 256u);
+  simulator.run_until(SimTime::millis(300));
+  EXPECT_EQ(delivered, 191 + 91);
+}
+
 // ---------- ShardRunner ----------
 
 TEST(ShardRunner, SkipsIdleStretchesBetweenEventClusters) {
@@ -317,6 +433,8 @@ TEST(ShardRunner, SkipsIdleStretchesBetweenEventClusters) {
   // per 10 ms stretch of idle time.
   EXPECT_GE(runner.windows(), 2);
   EXPECT_LE(runner.windows(), 3);
+  // Both clusters sat past the previous window's end, and the stat says so.
+  EXPECT_EQ(runner.idle_skips(), 2);
 }
 
 // ---------- ShardedSystem: the any-shard-count parity contract ----------
@@ -381,6 +499,28 @@ TEST(ShardedSystem, SmallLossyRunExercisesTheWholeProtocol) {
   EXPECT_GT(result.peak_rss_bytes, 0);
 }
 
+// The cold-state pools must actually pool: in a draw-free send regime
+// (zero loss, deterministic latency) admitted peers release their RNG
+// slots, finished attempts release their reply buffers, and drained
+// delivery groups recycle — so steady-state reuses dominate allocations,
+// which stay proportional to *concurrent* activity, not population.
+TEST(ShardedSystem, ColdStatePoolsRecycleInSteadyState) {
+  auto config = small_sharded_config(3);
+  config.loss = 0.0;
+  config.latency = net::LatencyModel::of(net::LatencyModelKind::kFixed);
+  const std::int64_t requesters = config.population.requesters;
+  engine::ShardedSystem system(std::move(config));
+  const auto result = system.run();
+  EXPECT_GT(result.overall.admissions, 0);
+  EXPECT_GT(result.pool_allocations, 0u);
+  EXPECT_GT(result.pool_reuses, result.pool_allocations);
+  // Draw-free sends demote rejected requesters' streams to a draw count
+  // between attempts, so live pool slots track concurrent activity, not
+  // the population: allocations must stay well below one per requester.
+  EXPECT_LT(result.pool_allocations,
+            static_cast<std::uint64_t>(requesters) / 2);
+}
+
 TEST(ShardedSystem, ResultIsIdenticalForAnyShardCount) {
   engine::ShardedSystem baseline(small_sharded_config(1));
   const std::string reference = fingerprint(baseline.run());
@@ -432,7 +572,8 @@ TEST(ShardedScenarios, PayloadIsByteIdenticalForAnyShardsAndThreads) {
   scenario::ScenarioOptions base;
   base.seed = 2002;
   base.scale = 500;  // keep the populations small and fast
-  for (const char* name : {"msg_fig5_sharded", "perf_sharded_scale"}) {
+  for (const char* name :
+       {"msg_fig5_sharded", "perf_sharded_scale", "perf_sharded_10m"}) {
     std::string reference;
     for (const int shards : {1, 2, 5}) {
       scenario::ScenarioOptions options = base;
@@ -465,6 +606,58 @@ TEST(ShardedScenarios, MechanicsBlockAppearsOnlyBehindTheFlag) {
   EXPECT_NE(with_mechanics.find("\"shards\":3"), std::string::npos);
   EXPECT_NE(with_mechanics.find("\"peak_rss_bytes\""), std::string::npos);
   EXPECT_NE(with_mechanics.find("\"per_shard\""), std::string::npos);
+  // The memory-campaign counters ride the same gate.
+  for (const char* key : {"\"bytes_per_peer\"", "\"pool_allocations\"",
+                          "\"pool_reuses\"", "\"windows_idle_skipped\""}) {
+    EXPECT_EQ(plain.find(key), std::string::npos) << key;
+    EXPECT_NE(with_mechanics.find(key), std::string::npos) << key;
+  }
+}
+
+// ---------- golden output pins ----------
+
+/// FNV-1a over the full scenario payload dump — one 64-bit fingerprint
+/// per pinned workload.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Full-payload hashes captured from the engine BEFORE the compact
+// peer-state rewrite (hot/cold SoA split, lazy RNG hydration, RetryHeap,
+// tick-ring router, dense Chord ring). Any drift here means one of those
+// memory optimizations changed simulated behaviour — which the whole
+// campaign promises never to do. The third pin exercises the loss path
+// (per-message bernoulli draws) and a non-default shard count.
+TEST(ShardedScenarios, GoldenOutputHashesMatchThePreCompactionEngine) {
+  {
+    scenario::ScenarioOptions options;
+    options.seed = 2002;
+    options.scale = 10;
+    EXPECT_EQ(fnv1a(scenario::run_scenario("msg_fig5_sharded", options).dump()),
+              0xc124306815bb08dbull);
+  }
+  {
+    scenario::ScenarioOptions options;
+    options.seed = 2002;
+    options.scale = 500;
+    EXPECT_EQ(
+        fnv1a(scenario::run_scenario("perf_sharded_scale", options).dump()),
+        0x4bf13ca4a549b0fbull);
+  }
+  {
+    scenario::ScenarioOptions options;
+    options.seed = 7;
+    options.scale = 25;
+    options.shards = 3;
+    options.loss = 0.05;
+    EXPECT_EQ(fnv1a(scenario::run_scenario("msg_fig5_sharded", options).dump()),
+              0x6bfe660c7d8b970aull);
+  }
 }
 
 }  // namespace

@@ -122,6 +122,39 @@ TEST(Rng, IndexedSubstreamsDiffer) {
   EXPECT_LT(equal, 3);
 }
 
+// The demote-to-count contract of the sharded engine's RNG pool: seed plus
+// raw-draw count fully determine the stream position, even through helpers
+// with data-dependent internal draw counts (uniform_below's rejection
+// loop), so a fresh generator fast-forwarded by draws() is bit-identical.
+TEST(Rng, DiscardOfDrawsReplaysToTheSamePosition) {
+  Rng used(424242);
+  // Mix raw draws with rejection-sampled helpers so the raw count is not
+  // predictable from the call count alone.
+  for (int i = 0; i < 17; ++i) (void)used();
+  for (int i = 0; i < 9; ++i) (void)used.uniform_below(7);
+  (void)used.uniform01();
+  (void)used.bernoulli(0.3);
+
+  Rng replayed(424242);
+  replayed.discard(used.draws());
+  EXPECT_EQ(replayed.draws(), used.draws());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(replayed(), used());
+}
+
+TEST(Rng, DrawsCountsRawOutputsAndResetsOnReseed) {
+  Rng rng(5);
+  EXPECT_EQ(rng.draws(), 0u);
+  (void)rng();
+  (void)rng();
+  EXPECT_EQ(rng.draws(), 2u);
+  rng.reseed(5);
+  EXPECT_EQ(rng.draws(), 0u);
+  // Substreams are fresh generators: their count starts at zero no matter
+  // how much the parent consumed.
+  (void)rng();
+  EXPECT_EQ(rng.substream("peer", 3).draws(), 0u);
+}
+
 TEST(Rng, UniformBelowStaysInRange) {
   Rng rng(5);
   for (int i = 0; i < 10'000; ++i) {

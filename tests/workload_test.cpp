@@ -129,6 +129,32 @@ TEST(ArrivalSchedule, ArrivalAtIndexesTheSortedTimes) {
   EXPECT_THROW((void)schedule.arrival_at(50), util::ContractViolation);
 }
 
+// The lazy-schedule contract the sharded engine's 10M-peer runs rest on:
+// computing an arrival on demand from the piece table and reading it from
+// a materialised vector are the same pure function of the index, so every
+// arrival_at (and the derived arrivals_between) agrees bit-for-bit.
+TEST(ArrivalSchedule, LazyAgreesWithEagerOnEveryArrival) {
+  for (const auto pattern :
+       {ArrivalPattern::kConstant, ArrivalPattern::kRampUpDown,
+        ArrivalPattern::kBurstThenConstant, ArrivalPattern::kPeriodicBursts}) {
+    const auto eager = ArrivalSchedule::make(pattern, 977, kWindow);
+    const auto lazy = ArrivalSchedule::make_lazy(pattern, 977, kWindow);
+    EXPECT_TRUE(lazy.lazy());
+    EXPECT_FALSE(eager.lazy());
+    ASSERT_EQ(lazy.total(), eager.total());
+    EXPECT_EQ(lazy.window(), eager.window());
+    for (std::int64_t i = 0; i < eager.total(); ++i) {
+      ASSERT_EQ(lazy.arrival_at(i), eager.arrival_at(i))
+          << to_string(pattern) << " index " << i;
+    }
+    for (int h = 0; h <= 72; h += 7) {
+      EXPECT_EQ(lazy.arrivals_between(SimTime::hours(h), SimTime::hours(h + 5)),
+                eager.arrivals_between(SimTime::hours(h), SimTime::hours(h + 5)));
+    }
+    EXPECT_THROW((void)lazy.times(), util::ContractViolation);
+  }
+}
+
 TEST(Pattern1, ConstantHourlyCounts) {
   const auto schedule =
       ArrivalSchedule::make(ArrivalPattern::kConstant, kTotal, kWindow);
