@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a p2ps_run --telemetry JSONL stream.
+
+Schema (docs/observability.md): every line is one JSON object. All but the
+last are {"type":"snapshot"} records with strictly increasing "seq"
+starting at 1 and nondecreasing "sim_ms"/"wall_ms"; the last line is the
+single {"type":"summary"} record whose "snapshots" count matches the
+number of snapshot lines. Metric values are integers or histogram objects
+{count,sum,bounds,counts} with len(counts) == len(bounds) + 1.
+
+Usage: check_telemetry.py FILE.jsonl [--min-snapshots N]
+Exit 0 when valid, 1 with a diagnostic on the first violation.
+
+Stdlib only — the repo bakes in no third-party Python.
+"""
+import argparse
+import json
+import sys
+
+
+def fail(line_no: int, message: str) -> None:
+    print(f"check_telemetry: line {line_no}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metrics(line_no: int, record: dict) -> None:
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail(line_no, "missing or empty 'metrics' object")
+    for name, value in metrics.items():
+        if isinstance(value, int):
+            continue
+        if isinstance(value, dict):
+            for key in ("count", "sum", "bounds", "counts"):
+                if key not in value:
+                    fail(line_no, f"histogram '{name}' missing '{key}'")
+            if len(value["counts"]) != len(value["bounds"]) + 1:
+                fail(line_no, f"histogram '{name}' bucket/bound size mismatch")
+            if sum(value["counts"]) != value["count"]:
+                fail(line_no, f"histogram '{name}' counts do not sum to count")
+            continue
+        fail(line_no, f"metric '{name}' is neither integer nor histogram")
+
+
+def check_phases(line_no: int, record: dict) -> None:
+    phases = record.get("phases")
+    if phases is None:
+        return  # session engines have no profiler
+    if not isinstance(phases, dict):
+        fail(line_no, "'phases' is not an object")
+    for key in ("step_ms_per_shard", "step_ms", "route_drain_ms",
+                "barrier_ms", "merge_ms", "imbalance"):
+        if key not in phases:
+            fail(line_no, f"'phases' missing '{key}'")
+        if key == "step_ms_per_shard":
+            if not isinstance(phases[key], list) or not phases[key]:
+                fail(line_no, "'step_ms_per_shard' is not a non-empty array")
+        elif not isinstance(phases[key], (int, float)):
+            fail(line_no, f"'phases.{key}' is not a number")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="telemetry JSONL file")
+    parser.add_argument("--min-snapshots", type=int, default=1,
+                        help="require at least N snapshot records")
+    args = parser.parse_args()
+
+    snapshots = 0
+    summary = None
+    prev_seq = 0
+    prev_sim_ms = -1
+    prev_wall_ms = -1
+    with open(args.file, encoding="utf-8") as stream:
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                fail(line_no, "blank line inside the stream")
+            if summary is not None:
+                fail(line_no, "record after the summary")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(line_no, f"invalid JSON: {error}")
+            kind = record.get("type")
+            if kind == "snapshot":
+                snapshots += 1
+                for key in ("seq", "sim_ms", "wall_ms", "rss_bytes"):
+                    if not isinstance(record.get(key), int):
+                        fail(line_no, f"snapshot missing integer '{key}'")
+                if record["seq"] != prev_seq + 1:
+                    fail(line_no, f"seq {record['seq']} after {prev_seq}")
+                if record["sim_ms"] < prev_sim_ms:
+                    fail(line_no, "sim_ms went backwards")
+                if record["wall_ms"] < prev_wall_ms:
+                    fail(line_no, "wall_ms went backwards")
+                prev_seq = record["seq"]
+                prev_sim_ms = record["sim_ms"]
+                prev_wall_ms = record["wall_ms"]
+                check_metrics(line_no, record)
+                check_phases(line_no, record)
+                watchdog = record.get("watchdog")
+                if watchdog is not None and (
+                        not isinstance(watchdog, list) or not watchdog):
+                    fail(line_no, "'watchdog' present but not a non-empty array")
+            elif kind == "summary":
+                for key in ("snapshots", "watchdog_trips", "sim_ms",
+                            "wall_ms", "rss_bytes"):
+                    if not isinstance(record.get(key), int):
+                        fail(line_no, f"summary missing integer '{key}'")
+                check_metrics(line_no, record)
+                check_phases(line_no, record)
+                summary = record
+            else:
+                fail(line_no, f"unknown record type {kind!r}")
+
+    if summary is None:
+        fail(0, "no summary record (stream truncated?)")
+    if summary["snapshots"] != snapshots:
+        fail(0, f"summary claims {summary['snapshots']} snapshots, "
+                f"stream has {snapshots}")
+    if snapshots < args.min_snapshots:
+        fail(0, f"only {snapshots} snapshots, need >= {args.min_snapshots}")
+    print(f"check_telemetry: OK — {snapshots} snapshots + summary")
+
+
+if __name__ == "__main__":
+    main()

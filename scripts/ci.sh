@@ -153,11 +153,14 @@ fi
 # Timer smoke: the TimerService strategy is pure event-core mechanics, so
 # one session-level and one message-level scenario must emit identical
 # payloads under all three --timers strategies once the mechanics counters
-# are normalized away (the same strip scenario::strip_event_mechanics and
-# tests/scenario_test.cpp apply; docs/timers.md carries the argument).
+# are normalized away. The normalizer is the binary's own --strip-mechanics
+# filter (scenario::strip_event_mechanics over the shared
+# obs::mechanics_schema table), so CI and the parity tests zero exactly the
+# same key set by construction — a new mechanics counter added to the
+# schema is stripped here automatically (docs/observability.md).
 echo "==> timer smoke: fig5_admission_rate + msg_flash_crowd x {wheel,lazy,events}"
 strip_mechanics() {
-  sed -E 's/"(events_executed|peak_event_list|peak_event_list_timers|peak_event_list_other|timer_events_scheduled)":[0-9]+/"\1":0/g'
+  "${runner}" --strip-mechanics
 }
 for timer_scenario in fig5_admission_rate msg_flash_crowd; do
   for strategy in wheel lazy events; do
@@ -310,6 +313,60 @@ else
   echo "==> memory smoke: skipped under -fsanitize=${sanitize}"
 fi
 
+# Telemetry smoke: the runtime observability layer (docs/observability.md).
+# A --telemetry run must (a) emit a schema-valid JSONL stream (validated by
+# scripts/check_telemetry.py), (b) leave the scenario payload byte-identical
+# to an uninstrumented run — telemetry is out-of-band by contract — and
+# (c) reject junk flag spellings with the usage error (exit 2) like every
+# other axis. The uninstrumented output (.1.json) was already produced and
+# determinism-checked by the smoke loop above.
+echo "==> telemetry smoke: msg_fig5_sharded --telemetry + schema check"
+# 50 ms wall interval: a ~1 s smoke run yields a dozen-odd snapshots
+# without the every-barrier flood interval 0 would produce.
+"${runner}" msg_fig5_sharded --seed "${seed}" --scale "${scale}" --compact \
+    --telemetry "${smoke_dir}/telemetry.jsonl" --telemetry-interval 50 \
+    > "${smoke_dir}/msg_fig5_sharded.telemetry.json" \
+    2> "${smoke_dir}/telemetry.stderr"
+cmp "${smoke_dir}/msg_fig5_sharded.1.json" \
+    "${smoke_dir}/msg_fig5_sharded.telemetry.json" || {
+  echo "FAIL: msg_fig5_sharded payload differs with --telemetry attached" >&2
+  exit 1
+}
+python3 "${repo_root}/scripts/check_telemetry.py" \
+    "${smoke_dir}/telemetry.jsonl" --min-snapshots 1 || {
+  echo "FAIL: telemetry stream failed the schema check" >&2
+  exit 1
+}
+grep -q '\[telemetry\] snapshot' "${smoke_dir}/telemetry.stderr" || {
+  echo "FAIL: --telemetry emitted no heartbeat lines" >&2
+  exit 1
+}
+status=0
+"${runner}" msg_fig5_sharded --scale "${scale}" --compact \
+    --telemetri "${smoke_dir}/typo.jsonl" > /dev/null 2>&1 || status=$?
+if [ "${status}" -ne 2 ]; then
+  echo "FAIL: misspelled --telemetri exited ${status} (expected usage" \
+       "error 2)" >&2
+  exit 1
+fi
+status=0
+"${runner}" msg_fig5_sharded --scale "${scale}" --compact \
+    --telemetry-interval 100 > /dev/null 2>&1 || status=$?
+if [ "${status}" -ne 2 ]; then
+  echo "FAIL: --telemetry-interval without --telemetry exited ${status}" \
+       "(expected usage error 2)" >&2
+  exit 1
+fi
+status=0
+"${runner}" msg_fig5_sharded --scale "${scale}" --compact \
+    --telemetry "${smoke_dir}/wd.jsonl" --watchdog loud > /dev/null 2>&1 \
+    || status=$?
+if [ "${status}" -ne 2 ]; then
+  echo "FAIL: --watchdog loud exited ${status} (expected usage error 2)" >&2
+  exit 1
+fi
+
 echo "==> OK: build, tests, ${count}-scenario smoke pass, perf smoke," \
      "message smoke, sweep smoke, latency-axis smoke, timer smoke," \
-     "loss-axis smoke, policy smoke, shard smoke and memory smoke all green"
+     "loss-axis smoke, policy smoke, shard smoke, memory smoke and" \
+     "telemetry smoke all green"

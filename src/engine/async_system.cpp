@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "engine/arrival_source.hpp"
+#include "engine/telemetry_probe.hpp"
 #include "util/assert.hpp"
 #include "workload/arrival_pattern.hpp"
 
@@ -30,6 +31,9 @@ AsyncStreamingSystem::AsyncStreamingSystem(AsyncSimulationConfig config)
                    "commits would race their own expiry");
   P2PS_REQUIRE_MSG(config_.selection_policy != nullptr,
                    "AsyncSimulationConfig.selection_policy must not be null");
+  if (config_.telemetry != nullptr) {
+    metrics_.bind_telemetry(config_.telemetry->registry());
+  }
 
   util::Rng master(config_.seed);
   lookup_rng_ = master.substream("lookup");
@@ -191,6 +195,16 @@ void AsyncStreamingSystem::take_sample(util::SimTime t) {
   session_ends_.poll();
   timers_.poll();
   metrics_.hourly_sample(t, capacity(), sessions_active_, suppliers_);
+  if (config_.telemetry != nullptr && config_.telemetry->snapshot_due()) {
+    obs::Registry& registry = config_.telemetry->registry();
+    publish_event_core(registry, simulator_);
+    publish_timer_service(registry, timers_);
+    publish_mailbox(registry, transport_);
+    registry.gauge("suppliers")->set(suppliers_);
+    registry.gauge("sessions_active")->set(sessions_active_);
+    registry.gauge("capacity_units")->set(capacity());
+    config_.telemetry->snapshot(t.as_millis());
+  }
 }
 
 SimulationResult AsyncStreamingSystem::run() {

@@ -70,6 +70,10 @@ struct AsyncSimulationConfig {
 
   /// Supplier-selection policy (core registry pointer; never null).
   const core::SelectionPolicy* selection_policy = &core::paper_dac_policy();
+
+  /// Borrowed runtime telemetry sink (null = off); out-of-band by the
+  /// same contract as SimulationConfig::telemetry.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class AsyncStreamingSystem {

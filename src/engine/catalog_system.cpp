@@ -6,6 +6,7 @@
 #include "core/selection.hpp"
 #include "core/selection_policy.hpp"
 #include "engine/arrival_source.hpp"
+#include "engine/telemetry_probe.hpp"
 #include "util/assert.hpp"
 #include "workload/arrival_pattern.hpp"
 
@@ -27,6 +28,9 @@ CatalogStreamingSystem::CatalogStreamingSystem(CatalogConfig config)
   P2PS_REQUIRE(config_.session_duration > util::SimTime::zero());
   P2PS_REQUIRE_MSG(config_.selection_policy != nullptr,
                    "CatalogConfig.selection_policy must not be null");
+  if (config_.telemetry != nullptr) {
+    metrics_.bind_telemetry(config_.telemetry->registry());
+  }
 
   directories_.resize(static_cast<std::size_t>(config_.files));
   file_bandwidth_.assign(static_cast<std::size_t>(config_.files),
@@ -233,6 +237,16 @@ void CatalogStreamingSystem::take_sample(util::SimTime t) {
   metrics_.hourly_sample(t, core::capacity(total),
                          static_cast<std::int64_t>(sessions_.size()), suppliers_);
   if (config_.validate_invariants) check_invariants();
+  if (config_.telemetry != nullptr && config_.telemetry->snapshot_due()) {
+    obs::Registry& registry = config_.telemetry->registry();
+    publish_event_core(registry, simulator_);
+    publish_timer_service(registry, timers_);
+    registry.gauge("suppliers")->set(suppliers_);
+    registry.gauge("sessions_active")
+        ->set(static_cast<std::int64_t>(sessions_.size()));
+    registry.gauge("capacity_units")->set(core::capacity(total));
+    config_.telemetry->snapshot(t.as_millis());
+  }
 }
 
 void CatalogStreamingSystem::check_invariants() const {

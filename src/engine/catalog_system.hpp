@@ -55,6 +55,10 @@ struct CatalogConfig {
   /// Timer strategy for the per-peer idle elevation timers (pure
   /// mechanics; byte-identical output across strategies, docs/timers.md).
   sim::TimerConfig timers;
+
+  /// Borrowed runtime telemetry sink (null = off); out-of-band by the
+  /// same contract as SimulationConfig::telemetry.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Per-file end-of-run summary.

@@ -12,6 +12,10 @@
 #include "workload/arrival_pattern.hpp"
 #include "workload/population.hpp"
 
+namespace p2ps::obs {
+class Telemetry;
+}
+
 namespace p2ps::engine {
 
 /// Which lookup substrate serves candidate queries (paper footnote 4).
@@ -98,6 +102,13 @@ struct SimulationConfig {
   /// Retain the last N protocol trace events (0 disables tracing). See
   /// engine/trace.hpp.
   std::size_t trace_capacity = 0;
+
+  /// Borrowed runtime telemetry sink (null = off). Strictly out-of-band:
+  /// the engine publishes registry values and polls for snapshots only
+  /// inside its existing periodic sampler, so the simulation trajectory —
+  /// and the scenario payload — is byte-identical with or without it
+  /// (docs/observability.md).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// The paper's baseline configuration: same parameters, no differentiation.

@@ -7,6 +7,7 @@
 #include "core/admission/requester.hpp"
 #include "core/ots.hpp"
 #include "engine/result.hpp"
+#include "engine/telemetry_probe.hpp"
 #include "util/assert.hpp"
 
 namespace p2ps::engine {
@@ -200,6 +201,21 @@ struct ShardedSystem::Shard {
   /// Next global arrival index owned by this shard (stride = shard count).
   std::int64_t next_arrival = 0;
 
+  /// Per-shard protocol trace ring (null unless trace_capacity > 0).
+  /// Thread-confined during windows like every other shard member; the
+  /// rings merge into canonical (time, peer) order after the run. Every
+  /// recorded detail value is partition-invariant by construction (probe
+  /// counts, delay Δt, rejection counts, class offers) so the merged
+  /// trace is byte-identical for every shard count when capacity is ample.
+  std::unique_ptr<TraceLog> trace;
+
+  void record(util::SimTime t, TraceKind kind, core::PeerId peer,
+              core::PeerClass cls, core::SessionId session,
+              std::int64_t detail) {
+    if (!trace) return;
+    trace->record(TraceEvent{t, kind, peer, cls, session, detail});
+  }
+
   // Thread-confined scratch (one shard = one worker during a window).
   core::SelectionResult selection;
   std::vector<core::PeerClass> classes_scratch;
@@ -254,6 +270,9 @@ struct ShardedSystem::Shard {
         ends(sim, [&system, this](SessionEnd&& end) {
           system.finish_session(*this, end);
         }) {
+    if (system.config_.trace_capacity > 0) {
+      trace = std::make_unique<TraceLog>(system.config_.trace_capacity);
+    }
     totals.resize(static_cast<std::size_t>(system.config_.protocol.num_classes));
     const auto count = static_cast<std::size_t>(std::max<std::int64_t>(owned, 0));
     word.assign(count, 0);
@@ -545,6 +564,9 @@ void ShardedSystem::first_request(Shard& shard, std::uint32_t local) {
   shard.word[local] = to_ms32(shard.sim.now());  // epoch/rejections start at 0
   const core::PeerClass cls = class_of(global_id(shard.index, local));
   ++shard.totals[static_cast<std::size_t>(cls - 1)].first_requests;
+  shard.record(shard.sim.now(), TraceKind::kFirstRequest,
+               global_id(shard.index, local), cls, core::SessionId::invalid(),
+               0);
   start_attempt(shard, local);
 }
 
@@ -566,10 +588,17 @@ void ShardedSystem::start_attempt(Shard& shard, std::uint32_t local) {
   // with the requester's own stream.
   const std::size_t visible = directory_.visible_count(shard.index, now);
   const std::size_t m = std::min(config_.protocol.m_candidates, visible);
+  // The visible directory prefix at a tick is canonical, so the probe
+  // count is partition-invariant — safe as a trace detail.
+  shard.record(now, TraceKind::kAttempt, self, cls, core::SessionId::invalid(),
+               static_cast<std::int64_t>(m));
   if (m == 0) {
     // No supplier is visible yet (cannot happen once seeds are registered,
     // but stay total): an immediate rejection with normal backoff.
     ++shard.totals[static_cast<std::size_t>(cls - 1)].rejections;
+    shard.record(now, TraceKind::kRejection, self, cls,
+                 core::SessionId::invalid(),
+                 req_rejections(shard.word[local]) + 1);
     word = bump_rejections(bump_epoch(word));
     shard.word[local] = word;
     shard.retries.schedule(
@@ -641,8 +670,11 @@ void ShardedSystem::conclude_attempt(Shard& shard, std::uint32_t local) {
       shard.classes_scratch.push_back(
           static_cast<core::PeerClass>(attempt.replies[r].cls));
     }
-    totals.delay_dt_sum +=
+    const std::int64_t delay_dt =
         core::ots_assignment(shard.classes_scratch).min_buffering_delay_dt();
+    totals.delay_dt_sum += delay_dt;
+    shard.record(now, TraceKind::kAdmission, global_id(shard.index, local),
+                 cls, core::SessionId{attempt.session}, delay_dt);
     shard.ends.schedule(now + config_.session_duration,
                         SessionEnd{attempt.session, local, chosen_count});
     // Admitted: the peer's remaining sends (commit flight done, session
@@ -658,6 +690,8 @@ void ShardedSystem::conclude_attempt(Shard& shard, std::uint32_t local) {
     }
     const std::uint64_t word = bump_rejections(shard.word[local]);
     shard.word[local] = word;
+    shard.record(now, TraceKind::kRejection, global_id(shard.index, local),
+                 cls, core::SessionId::invalid(), req_rejections(word));
     shard.retries.schedule(
         core::scaled_backoff(config_.protocol.t_bkf, config_.protocol.e_bkf,
                              req_rejections(word) - 1),
@@ -690,6 +724,10 @@ void ShardedSystem::finish_session(Shard& shard, const SessionEnd& end) {
   }
   --shard.sessions_active;
   ++shard.sessions_completed;
+  shard.record(shard.sim.now(), TraceKind::kSessionEnd,
+               global_id(shard.index, end.peer_local), cls,
+               core::SessionId{end.session},
+               static_cast<std::int64_t>(end.supplier_count));
   make_supplier(shard, end.peer_local);
 }
 
@@ -702,6 +740,11 @@ void ShardedSystem::make_supplier(Shard& shard, std::uint32_t local) {
   const core::PeerId self = global_id(shard.index, local);
   shard.capacity_units += core::Bandwidth::class_offer(class_of(self)).units();
   ++shard.suppliers;
+  // Detail = this peer's offered units, not running capacity: per-shard
+  // capacity depends on the partitioning, the class offer does not.
+  shard.record(shard.sim.now(), TraceKind::kBecameSupplier, self,
+               class_of(self), core::SessionId::invalid(),
+               core::Bandwidth::class_offer(class_of(self)).units());
   // Probe-visible exactly one lookahead window from now: late enough that
   // no query in the current window can see it (partition-independence),
   // as tight as the conservative protocol allows.
@@ -716,6 +759,67 @@ void ShardedSystem::take_sample(Shard& shard, util::SimTime t) {
   shard.ends.poll();
   shard.samples.push_back(ShardedSample{t, shard.capacity_units,
                                         shard.sessions_active, shard.suppliers});
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+/// Coordinator-side telemetry wiring, allocated in run() when a sink is
+/// attached: the profiler handle the runner's callbacks use, and the
+/// cross-shard batch-size histogram observed at every barrier.
+struct ShardedSystem::TelemetryState {
+  obs::PhaseProfiler* profiler = nullptr;
+  obs::Histogram* batch_hist = nullptr;
+  /// router_.cross_shard_total() at the previous barrier — the delta is
+  /// this window's cross-shard batch.
+  std::uint64_t prev_cross_shard = 0;
+};
+
+void ShardedSystem::publish_telemetry(util::SimTime now) {
+  (void)now;  // the snapshot caller stamps sim time; lanes hold levels
+  obs::Registry& registry = config_.telemetry->registry();
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    const int lane = shard.index;
+    publish_event_core(registry, shard.sim, lane);
+    // Protocol counters share names (and the Counter kind) with the
+    // session engines' MetricsCollector binding; here the lane value is
+    // written wholesale from the shard's own class sums — same cumulative
+    // semantics, no hot-path increments.
+    std::int64_t first_requests = 0;
+    std::int64_t attempts = 0;
+    std::int64_t admissions = 0;
+    std::int64_t rejections = 0;
+    for (const ShardedClassTotals& totals : shard.totals) {
+      first_requests += totals.first_requests;
+      attempts += totals.attempts;
+      admissions += totals.admissions;
+      rejections += totals.rejections;
+    }
+    registry.counter(obs::kMetricFirstRequests, lane)->value = first_requests;
+    registry.counter(obs::kMetricAttempts, lane)->value = attempts;
+    registry.counter(obs::kMetricAdmissions, lane)->value = admissions;
+    registry.counter(obs::kMetricRejections, lane)->value = rejections;
+    registry.gauge("messages_sent", lane)
+        ->set(static_cast<std::int64_t>(shard.sent));
+    registry.gauge("messages_delivered", lane)
+        ->set(static_cast<std::int64_t>(shard.delivered));
+    registry.gauge("messages_dropped", lane)
+        ->set(static_cast<std::int64_t>(shard.dropped));
+    registry.gauge("suppliers", lane)->set(shard.suppliers);
+    registry.gauge("sessions_active", lane)->set(shard.sessions_active);
+    registry.gauge("sessions_completed", lane)->set(shard.sessions_completed);
+    registry.gauge("capacity_units", lane)->set(shard.capacity_units);
+    registry.gauge("hold_expirations", lane)->set(shard.hold_expirations);
+    registry.gauge("watchdog_recoveries", lane)->set(shard.watchdog_recoveries);
+    registry.gauge("pool_allocations", lane)
+        ->set(static_cast<std::int64_t>(shard.pool_allocations));
+    registry.gauge("pool_reuses", lane)
+        ->set(static_cast<std::int64_t>(shard.pool_reuses));
+  }
+  registry.gauge("cross_shard_messages")
+      ->set(static_cast<std::int64_t>(router_.cross_shard_total()));
 }
 
 // ---------------------------------------------------------------------------
@@ -777,8 +881,16 @@ ShardedResult ShardedSystem::run() {
         [this, &shard](util::SimTime t) { take_sample(shard, t); });
   }
 
+  if (config_.telemetry != nullptr) {
+    telem_ = std::make_unique<TelemetryState>();
+    telem_->profiler = config_.telemetry->attach_profiler(config_.shards);
+    telem_->batch_hist = config_.telemetry->registry().histogram(
+        "cross_shard_batch_messages", {0, 1, 8, 64, 512, 4096, 32768});
+  }
+
   sim::ShardRunner runner(config_.shards, lookahead_, config_.threads);
   sim::ShardRunner::Callbacks callbacks;
+  callbacks.profiler = telem_ ? telem_->profiler : nullptr;
   callbacks.next_event_time = [this](int shard) {
     return shards_[static_cast<std::size_t>(shard)]->sim.next_event_time();
   };
@@ -788,13 +900,27 @@ ShardedResult ShardedSystem::run() {
   callbacks.run_to = [this](int shard, util::SimTime t) {
     shards_[static_cast<std::size_t>(shard)]->sim.run_until(t);
   };
-  callbacks.at_barrier = [this](util::SimTime) {
-    router_.exchange();
+  callbacks.at_barrier = [this](util::SimTime window_end) {
+    {
+      obs::ScopedPhase route(telem_ ? telem_->profiler : nullptr,
+                             obs::Phase::kRouteDrain);
+      router_.exchange();
+    }
     for (auto& joins : join_buffers_) {
       for (const Directory::Join& join : joins) {
         directory_.enqueue(join.visible_ms, join.peer);
       }
       joins.clear();  // capacity kept
+    }
+    if (telem_) {
+      const std::uint64_t total = router_.cross_shard_total();
+      telem_->batch_hist->observe(
+          static_cast<std::int64_t>(total - telem_->prev_cross_shard));
+      telem_->prev_cross_shard = total;
+      if (config_.telemetry->snapshot_due()) {
+        publish_telemetry(window_end);
+        config_.telemetry->snapshot(window_end.as_millis());
+      }
     }
   };
   runner.run(config_.horizon, callbacks);
@@ -803,6 +929,8 @@ ShardedResult ShardedSystem::run() {
 
   // Merge: integer sums only; every mean/rate is derived (once) by the
   // report layer from the merged sums.
+  obs::ScopedPhase merge_phase(telem_ ? telem_->profiler : nullptr,
+                               obs::Phase::kMerge);
   ShardedResult result;
   result.num_classes = config_.protocol.num_classes;
   result.totals.resize(static_cast<std::size_t>(config_.protocol.num_classes));
@@ -849,6 +977,28 @@ ShardedResult ShardedSystem::run() {
   result.windows = runner.windows();
   result.windows_idle_skipped = runner.idle_skips();
   result.peak_rss_bytes = process_peak_rss_bytes();
+
+  // Merge the per-shard trace rings into the canonical (time, peer) order.
+  // All of one peer's events live on its single owning shard in canonical
+  // relative order, so a stable sort on (t, peer) is partition-invariant.
+  if (config_.trace_capacity > 0) {
+    for (const auto& shard_ptr : shards_) {
+      const TraceLog& log = *shard_ptr->trace;
+      result.trace_recorded += log.recorded();
+      result.trace_dropped += log.dropped();
+      const std::vector<TraceEvent> events = log.events();
+      result.trace.insert(result.trace.end(), events.begin(), events.end());
+    }
+    std::stable_sort(result.trace.begin(), result.trace.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.t != b.t) return a.t < b.t;
+                       return a.peer.value() < b.peer.value();
+                     });
+  }
+
+  // Leave the registry holding end-of-run levels: the exporter's summary
+  // record (Telemetry::finish, emitted by the caller) reads them.
+  if (telem_) publish_telemetry(config_.horizon);
   return result;
 }
 

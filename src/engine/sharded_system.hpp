@@ -62,6 +62,7 @@
 #include "engine/config.hpp"
 #include "engine/retry_heap.hpp"
 #include "engine/session_end_calendar.hpp"
+#include "engine/trace.hpp"
 #include "net/latency.hpp"
 #include "net/shard_router.hpp"
 #include "sim/event_list.hpp"
@@ -106,6 +107,17 @@ struct ShardedConfig {
   std::uint64_t seed = 2002;
   util::SimTime sample_interval = util::SimTime::hours(1);
   const core::SelectionPolicy* selection_policy = &core::paper_dac_policy();
+
+  /// Retain the last N protocol trace events PER SHARD (0 disables). The
+  /// per-shard rings merge into ShardedResult::trace in the canonical
+  /// (time, peer) order on finish. Never part of scenario payloads.
+  std::size_t trace_capacity = 0;
+
+  /// Borrowed runtime telemetry sink (null = off). Out-of-band: the
+  /// engine publishes per-shard registry lanes and polls for snapshots
+  /// only at window barriers (coordinator-side), so the merged payload is
+  /// byte-identical with or without it (docs/observability.md).
+  obs::Telemetry* telemetry = nullptr;
 
   void validate() const;
 };
@@ -173,6 +185,14 @@ struct ShardedResult {
   /// steady state reuses far more than it allocates.
   std::uint64_t pool_allocations = 0;
   std::uint64_t pool_reuses = 0;
+
+  /// Merged per-shard trace rings in canonical (time, peer) order; empty
+  /// unless ShardedConfig::trace_capacity > 0 (engine/trace.hpp). With
+  /// ample capacity the merged journey set is identical for every shard
+  /// count; when rings overflow, retention is per-shard (docs note).
+  std::vector<TraceEvent> trace;
+  std::uint64_t trace_recorded = 0;
+  std::uint64_t trace_dropped = 0;
 };
 
 class ShardedSystem {
@@ -332,6 +352,10 @@ class ShardedSystem {
   void finish_session(Shard& shard, const SessionEnd& end);
   void make_supplier(Shard& shard, std::uint32_t local);
   void take_sample(Shard& shard, util::SimTime t);
+  /// Coordinator-only, at a window barrier when a snapshot is due: writes
+  /// every per-shard registry lane from the shard fields the engine
+  /// already maintains (zero hot-path cost; docs/observability.md).
+  void publish_telemetry(util::SimTime now);
   /// Lazily expires an overdue hold/watchdog before reading supplier state.
   void purge_supplier(Shard& shard, std::uint32_t local, util::SimTime now);
 
@@ -390,6 +414,10 @@ class ShardedSystem {
   std::vector<std::vector<Directory::Join>> join_buffers_;
   std::int64_t total_peers_ = 0;
   bool ran_ = false;
+  /// Telemetry wiring (registry handles + profiler), allocated in run()
+  /// only when config_.telemetry is set; see the .cpp.
+  struct TelemetryState;
+  std::unique_ptr<TelemetryState> telem_;
 };
 
 }  // namespace p2ps::engine

@@ -8,6 +8,7 @@
 #include "core/selection.hpp"
 #include "core/selection_policy.hpp"
 #include "engine/arrival_source.hpp"
+#include "engine/telemetry_probe.hpp"
 #include "lookup/chord.hpp"
 #include "lookup/directory.hpp"
 #include "util/assert.hpp"
@@ -54,6 +55,9 @@ StreamingSystem::StreamingSystem(SimulationConfig config)
 
   if (config_.trace_capacity > 0) {
     trace_ = std::make_unique<TraceLog>(config_.trace_capacity);
+  }
+  if (config_.telemetry != nullptr) {
+    metrics_.bind_telemetry(config_.telemetry->registry());
   }
 
   favored_sum_.assign(static_cast<std::size_t>(config_.protocol.num_classes), 0);
@@ -364,6 +368,15 @@ void StreamingSystem::take_sample(util::SimTime t) {
   timers_.poll();
   metrics_.hourly_sample(t, capacity(), active_sessions(), suppliers_);
   if (config_.validate_invariants) check_invariants();
+  if (config_.telemetry != nullptr && config_.telemetry->snapshot_due()) {
+    obs::Registry& registry = config_.telemetry->registry();
+    publish_event_core(registry, simulator_);
+    publish_timer_service(registry, timers_);
+    registry.gauge("suppliers")->set(suppliers_);
+    registry.gauge("sessions_active")->set(active_sessions());
+    registry.gauge("capacity_units")->set(capacity());
+    config_.telemetry->snapshot(t.as_millis());
+  }
 }
 
 void StreamingSystem::take_favored_sample(util::SimTime t) {

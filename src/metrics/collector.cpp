@@ -30,19 +30,29 @@ MetricsCollector::MetricsCollector(core::PeerClass num_classes) {
   totals_.resize(static_cast<std::size_t>(num_classes));
 }
 
+void MetricsCollector::bind_telemetry(obs::Registry& registry, int lane) {
+  obs_first_requests_ = registry.counter(obs::kMetricFirstRequests, lane);
+  obs_attempts_ = registry.counter(obs::kMetricAttempts, lane);
+  obs_admissions_ = registry.counter(obs::kMetricAdmissions, lane);
+  obs_rejections_ = registry.counter(obs::kMetricRejections, lane);
+}
+
 void MetricsCollector::on_first_request(core::PeerClass c) {
   core::require_valid_class(c, num_classes());
   ++totals_[static_cast<std::size_t>(c - 1)].first_requests;
+  if (obs_first_requests_ != nullptr) obs_first_requests_->add();
 }
 
 void MetricsCollector::on_attempt(core::PeerClass c) {
   core::require_valid_class(c, num_classes());
   ++totals_[static_cast<std::size_t>(c - 1)].attempts;
+  if (obs_attempts_ != nullptr) obs_attempts_->add();
 }
 
 void MetricsCollector::on_rejection(core::PeerClass c) {
   core::require_valid_class(c, num_classes());
   ++totals_[static_cast<std::size_t>(c - 1)].rejections;
+  if (obs_rejections_ != nullptr) obs_rejections_->add();
 }
 
 void MetricsCollector::on_admission(core::PeerClass c, std::int64_t rejections_before,
@@ -56,6 +66,7 @@ void MetricsCollector::on_admission(core::PeerClass c, std::int64_t rejections_b
   counters.rejections_before_admission_sum += rejections_before;
   counters.buffering_delay_dt_sum += static_cast<double>(delay_dt);
   counters.waiting_ms_sum += static_cast<double>(waiting.as_millis());
+  if (obs_admissions_ != nullptr) obs_admissions_->add();
 }
 
 void MetricsCollector::hourly_sample(util::SimTime t, std::int64_t capacity,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/peer_class.hpp"
+#include "obs/metrics.hpp"
 #include "util/sim_time.hpp"
 
 namespace p2ps::metrics {
@@ -59,6 +60,12 @@ class MetricsCollector {
  public:
   explicit MetricsCollector(core::PeerClass num_classes);
 
+  /// Mirrors the protocol counters into a telemetry registry (the
+  /// pointer-handle hot path: each on_* adds one null-checked increment).
+  /// No-op telemetry-off; handles outlive the collector by the registry's
+  /// contract.
+  void bind_telemetry(obs::Registry& registry, int lane = 0);
+
   // ---- protocol events (engine-driven) ----
   void on_first_request(core::PeerClass c);
   void on_attempt(core::PeerClass c);
@@ -85,6 +92,12 @@ class MetricsCollector {
   std::vector<ClassCounters> totals_;
   std::vector<HourlySample> hourly_;
   std::vector<FavoredSample> favored_;
+
+  // Telemetry counter handles (null = telemetry off).
+  obs::Counter* obs_first_requests_ = nullptr;
+  obs::Counter* obs_attempts_ = nullptr;
+  obs::Counter* obs_admissions_ = nullptr;
+  obs::Counter* obs_rejections_ = nullptr;
 };
 
 }  // namespace p2ps::metrics

@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace p2ps::obs {
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  P2PS_REQUIRE_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  P2PS_REQUIRE_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                       std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                           bounds_.end(),
+                   "histogram bounds must be strictly increasing");
+}
+
+void Histogram::observe(std::int64_t value) {
+  // Inclusive upper bounds; anything above the last bound lands in the
+  // implicit overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  total_count_ += 1;
+  sum_ += value;
+}
+
+Registry::Metric& Registry::find_or_create(std::string_view name,
+                                           MetricKind kind) {
+  P2PS_REQUIRE_MSG(!name.empty(), "metric name must not be empty");
+  for (Metric& metric : metrics_) {
+    if (metric.name == name) {
+      P2PS_REQUIRE_MSG(metric.kind == kind,
+                       "metric '" + metric.name + "' registered as " +
+                           std::string(to_string(metric.kind)) +
+                           ", requested as " + std::string(to_string(kind)));
+      return metric;
+    }
+  }
+  Metric& metric = metrics_.emplace_back();
+  metric.name = std::string(name);
+  metric.kind = kind;
+  return metric;
+}
+
+Counter* Registry::counter(std::string_view name, int lane) {
+  P2PS_REQUIRE(lane >= 0);
+  Metric& metric = find_or_create(name, MetricKind::kCounter);
+  while (metric.counters.size() <= static_cast<std::size_t>(lane)) {
+    metric.counters.emplace_back();
+  }
+  return &metric.counters[static_cast<std::size_t>(lane)];
+}
+
+Gauge* Registry::gauge(std::string_view name, int lane, Aggregation aggregation) {
+  P2PS_REQUIRE(lane >= 0);
+  Metric& metric = find_or_create(name, MetricKind::kGauge);
+  if (metric.gauges.empty()) metric.aggregation = aggregation;
+  P2PS_REQUIRE_MSG(metric.aggregation == aggregation,
+                   "metric '" + metric.name +
+                       "' re-registered with a different aggregation");
+  while (metric.gauges.size() <= static_cast<std::size_t>(lane)) {
+    metric.gauges.emplace_back();
+  }
+  return &metric.gauges[static_cast<std::size_t>(lane)];
+}
+
+Histogram* Registry::histogram(std::string_view name,
+                               std::vector<std::int64_t> bounds, int lane) {
+  P2PS_REQUIRE(lane >= 0);
+  Metric& metric = find_or_create(name, MetricKind::kHistogram);
+  if (metric.histograms.empty()) {
+    metric.bounds = std::move(bounds);
+  } else {
+    P2PS_REQUIRE_MSG(metric.bounds == bounds,
+                     "histogram '" + metric.name +
+                         "' re-registered with different bounds");
+  }
+  while (metric.histograms.size() <= static_cast<std::size_t>(lane)) {
+    metric.histograms.emplace_back(Histogram(metric.bounds));
+  }
+  return &metric.histograms[static_cast<std::size_t>(lane)];
+}
+
+std::vector<Registry::Value> Registry::snapshot() const {
+  std::vector<Value> out;
+  out.reserve(metrics_.size());
+  for (const Metric& metric : metrics_) {
+    Value value;
+    value.name = metric.name;
+    value.kind = metric.kind;
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        for (const Counter& cell : metric.counters) value.value += cell.value;
+        break;
+      case MetricKind::kGauge:
+        if (metric.aggregation == Aggregation::kMax) {
+          for (const Gauge& cell : metric.gauges) {
+            value.value = std::max(value.value, cell.value);
+          }
+        } else {
+          for (const Gauge& cell : metric.gauges) value.value += cell.value;
+        }
+        break;
+      case MetricKind::kHistogram: {
+        value.hist_bounds = &metric.bounds;
+        value.hist_counts.assign(metric.bounds.size() + 1, 0);
+        for (const Histogram& cell : metric.histograms) {
+          value.value += cell.total_count();
+          value.hist_sum += cell.sum();
+          for (std::size_t i = 0; i < value.hist_counts.size(); ++i) {
+            value.hist_counts[i] += cell.counts()[i];
+          }
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(value));
+  }
+  return out;
+}
+
+std::int64_t Registry::aggregate(std::string_view name) const {
+  for (const Metric& metric : metrics_) {
+    if (metric.name != name) continue;
+    std::int64_t total = 0;
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        for (const Counter& cell : metric.counters) total += cell.value;
+        break;
+      case MetricKind::kGauge:
+        if (metric.aggregation == Aggregation::kMax) {
+          for (const Gauge& cell : metric.gauges) {
+            total = std::max(total, cell.value);
+          }
+        } else {
+          for (const Gauge& cell : metric.gauges) total += cell.value;
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (const Histogram& cell : metric.histograms) {
+          total += cell.total_count();
+        }
+        break;
+    }
+    return total;
+  }
+  return 0;
+}
+
+}  // namespace p2ps::obs

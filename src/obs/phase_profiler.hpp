@@ -1,0 +1,105 @@
+// Wall-clock phase profiler for the sharded lookahead-window runner.
+//
+// Each lookahead window splits into phases: every shard STEPs its events
+// to the window end (the only parallel part), then the coordinator drains
+// cross-shard ROUTEs and runs the BARRIER bookkeeping (directory flush,
+// telemetry poll); at end of run the per-shard results MERGE. Timing each
+// phase — and the step time per shard — is the first real data for the
+// ROADMAP's "wall-clock scaling on a multi-core host" follow-on: the
+// imbalance ratio (max/mean shard busy time) bounds the speedup the
+// barrier design can reach on any core count.
+//
+// Threading: add_shard_step(s, ·) is called only by shard s's owning
+// worker (thread-confined; cells are cache-line padded so neighbouring
+// shards don't false-share), coordinator phases only by the coordinator,
+// and reads happen at barriers or after the run — the runner's own
+// std::barrier provides every needed happens-before edge, so cells are
+// plain integers. Note route-drain and telemetry time are part of the
+// barrier callback, so barrier_ns includes route_drain_ns.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace p2ps::obs {
+
+enum class Phase : std::uint8_t { kStep = 0, kRouteDrain, kBarrier, kMerge };
+inline constexpr int kNumPhases = 4;
+
+[[nodiscard]] std::string_view to_string(Phase phase);
+
+class PhaseProfiler {
+ public:
+  explicit PhaseProfiler(int num_shards);
+
+  /// Monotonic nanosecond clock for interval timing (never used for
+  /// simulation decisions — telemetry is out-of-band by contract). On
+  /// x86-64 this reads the invariant TSC (calibrated once per process
+  /// against steady_clock) — roughly half the cost of a steady_clock
+  /// read, and the profiler makes ~a dozen reads per lookahead window
+  /// at hundreds of thousands of windows per run, so the clock itself
+  /// is the profiler's dominant overhead. Portable fallback elsewhere.
+  [[nodiscard]] static std::uint64_t now_ns();
+
+  /// Shard s's worker accumulates its own window step time.
+  void add_shard_step(int shard, std::uint64_t ns) {
+    shard_step_[static_cast<std::size_t>(shard)].ns += ns;
+  }
+  /// Coordinator-only phase accumulation (route drain, barrier, merge).
+  void add(Phase phase, std::uint64_t ns) {
+    phase_ns_[static_cast<std::size_t>(phase)] += ns;
+  }
+
+  [[nodiscard]] int num_shards() const {
+    return static_cast<int>(shard_step_.size());
+  }
+  [[nodiscard]] std::uint64_t shard_step_ns(int shard) const {
+    return shard_step_[static_cast<std::size_t>(shard)].ns;
+  }
+  /// Phase::kStep reports the SUM of per-shard step time (total busy
+  /// work); the wall-clock step time of a window is its max, not its sum.
+  [[nodiscard]] std::uint64_t phase_ns(Phase phase) const;
+
+  /// max/mean per-shard step (busy) time: 1.0 = perfectly balanced, N for
+  /// one hot shard among N idle ones; 0 before any timing data.
+  [[nodiscard]] double imbalance() const;
+
+ private:
+  struct alignas(64) Cell {  // one cache line per shard: no false sharing
+    std::uint64_t ns = 0;
+  };
+  std::vector<Cell> shard_step_;
+  std::array<std::uint64_t, kNumPhases> phase_ns_{};
+};
+
+/// RAII interval: adds the elapsed time to a profiler phase (or a shard's
+/// step cell) on destruction; no-op when the profiler is null.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler* profiler, Phase phase, int shard = -1)
+      : profiler_(profiler),
+        phase_(phase),
+        shard_(shard),
+        start_ns_(profiler ? PhaseProfiler::now_ns() : 0) {}
+  ~ScopedPhase() {
+    if (profiler_ == nullptr) return;
+    const std::uint64_t elapsed = PhaseProfiler::now_ns() - start_ns_;
+    if (shard_ >= 0) {
+      profiler_->add_shard_step(shard_, elapsed);
+    } else {
+      profiler_->add(phase_, elapsed);
+    }
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  Phase phase_;
+  int shard_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace p2ps::obs

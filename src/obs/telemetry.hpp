@@ -1,0 +1,110 @@
+// Time-series telemetry exporter: periodic JSONL snapshots of a run.
+//
+// One Telemetry object lives for one `p2ps_run` invocation (or one test
+// run) and owns the whole observability stack: the metric Registry the
+// engines publish into, the optional sharded PhaseProfiler, the anomaly
+// Watchdog, and the JSONL output stream. Engines hold a borrowed pointer
+// through their configs and, at their existing out-of-band sampling
+// points (window barriers for the sharded engine, the hourly Periodic
+// sampler for session engines), do
+//
+//     if (telemetry && telemetry->snapshot_due()) {
+//       publish_metrics();           // write gauges/counters into lanes
+//       telemetry->snapshot(now_ms); // may throw WatchdogAbort
+//     }
+//
+// snapshot_due() gates on WALL clock (steady_clock), so a 90-second run
+// at the default 1000 ms interval emits ~90 snapshots regardless of how
+// much simulated time each window covers. Because every poll site is a
+// point the engine already visits — no new events, no RNG draws — the
+// simulation trajectory is bit-identical with telemetry on or off; the
+// byte-identity of scenario payloads is enforced by tests/obs_test.cpp.
+//
+// Output: one JSON object per line —
+//   {"type":"snapshot","seq":N,"sim_ms":…,"wall_ms":…,"rss_bytes":…,
+//    "metrics":{name:value | {histogram}},
+//    "phases":{…,"imbalance":…},        (sharded runs only)
+//    "watchdog":[trip,…]}               (only when rules tripped)
+// and one final {"type":"summary",…} record. scripts/check_telemetry.py
+// validates the schema in CI.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/watchdog.hpp"
+
+namespace p2ps::obs {
+
+struct TelemetryOptions {
+  /// JSONL output path; empty = telemetry disabled (enabled() == false).
+  std::string path;
+  /// Wall-clock milliseconds between snapshots; 0 = snapshot on every
+  /// poll (tests and watchdog integration use 0 for determinism).
+  std::int64_t interval_ms = 1000;
+  /// One-line progress heartbeat to stderr per snapshot — the "is my
+  /// 90-second run alive" signal for long runs.
+  bool heartbeat = true;
+  WatchdogConfig watchdog;
+};
+
+/// Current resident set size in bytes (/proc/self/statm); 0 if unreadable.
+/// Distinct from engine::process_peak_rss_bytes(): snapshots want the
+/// current level, the end-of-run mechanics block wants the high-water mark.
+[[nodiscard]] std::int64_t process_current_rss_bytes();
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions options);
+  ~Telemetry();  // emits the summary record if finish() was never called
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// False when the output path could not be opened (CLI reports and exits).
+  [[nodiscard]] bool ok() const { return !enabled_ || out_.is_open(); }
+
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const Registry& registry() const { return registry_; }
+
+  /// Sharded engine announces its shard count; null for session engines.
+  PhaseProfiler* attach_profiler(int num_shards);
+  [[nodiscard]] PhaseProfiler* profiler() { return profiler_.get(); }
+
+  /// True when the next poll should publish + snapshot.
+  [[nodiscard]] bool snapshot_due() const;
+
+  /// Emits one snapshot record and evaluates the watchdog; throws
+  /// WatchdogAbort when a rule trips under the abort action (after the
+  /// snapshot line — the evidence outlives the abort).
+  void snapshot(std::int64_t sim_ms);
+
+  /// Emits the final summary record; idempotent.
+  void finish();
+
+  [[nodiscard]] std::int64_t snapshots() const { return snapshots_; }
+  [[nodiscard]] const Watchdog& watchdog() const { return watchdog_; }
+  [[nodiscard]] std::int64_t wall_ms() const;
+
+ private:
+  void write_record(bool is_summary, std::int64_t sim_ms);
+
+  TelemetryOptions options_;
+  bool enabled_ = false;
+  Registry registry_;
+  std::unique_ptr<PhaseProfiler> profiler_;
+  Watchdog watchdog_;
+  std::ofstream out_;
+  std::uint64_t start_ns_ = 0;
+  std::int64_t last_snapshot_wall_ms_ = 0;
+  std::int64_t snapshots_ = 0;
+  std::int64_t last_sim_ms_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace p2ps::obs

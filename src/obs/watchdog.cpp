@@ -1,0 +1,80 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace p2ps::obs {
+
+std::optional<WatchdogAction> parse_watchdog_action(std::string_view token) {
+  if (token == "off") return WatchdogAction::kOff;
+  if (token == "warn") return WatchdogAction::kWarn;
+  if (token == "abort") return WatchdogAction::kAbort;
+  return std::nullopt;
+}
+
+std::string_view to_string(WatchdogAction action) {
+  switch (action) {
+    case WatchdogAction::kOff: return "off";
+    case WatchdogAction::kWarn: return "warn";
+    case WatchdogAction::kAbort: return "abort";
+  }
+  return "?";
+}
+
+std::vector<std::string> Watchdog::evaluate(const WatchdogSample& sample) {
+  std::vector<std::string> tripped;
+  if (config_.action == WatchdogAction::kOff) return tripped;
+
+  if (baseline_pending_ < 0) {
+    baseline_pending_ = std::max<std::int64_t>(sample.pending_events, 1);
+  }
+
+  if (prev_) {
+    // Admission-rate collapse over the snapshot interval. Interval deltas,
+    // not cumulative totals: a long healthy warmup must not mask a
+    // collapse, and a rough start must not trip a healthy steady state.
+    const std::int64_t d_attempts = sample.attempts - prev_->attempts;
+    const std::int64_t d_admissions = sample.admissions - prev_->admissions;
+    if (d_attempts >= config_.min_interval_attempts) {
+      const double rate =
+          static_cast<double>(d_admissions) / static_cast<double>(d_attempts);
+      if (rate < config_.min_admission_rate) {
+        std::ostringstream os;
+        os << "admission-rate collapse: " << d_admissions << "/" << d_attempts
+           << " admitted over the last snapshot interval (rate " << rate
+           << " < " << config_.min_admission_rate << ")";
+        tripped.push_back(os.str());
+      }
+    }
+
+    // Stalled sim-time: wall clock advances (we are here), sim time not.
+    if (sample.sim_ms <= prev_->sim_ms) {
+      ++stalled_;
+      if (stalled_ >= config_.stall_snapshots) {
+        std::ostringstream os;
+        os << "stalled sim-time: no progress past " << sample.sim_ms
+           << " ms for " << stalled_ << " consecutive snapshots";
+        tripped.push_back(os.str());
+      }
+    } else {
+      stalled_ = 0;
+    }
+  }
+
+  // Event-list blow-up vs the run's baseline.
+  if (sample.pending_events >= config_.min_event_list &&
+      static_cast<double>(sample.pending_events) >
+          config_.growth_factor * static_cast<double>(baseline_pending_)) {
+    std::ostringstream os;
+    os << "event-list blow-up: " << sample.pending_events
+       << " pending events > " << config_.growth_factor << "x baseline "
+       << baseline_pending_;
+    tripped.push_back(os.str());
+  }
+
+  prev_ = sample;
+  trips_ += static_cast<std::int64_t>(tripped.size());
+  return tripped;
+}
+
+}  // namespace p2ps::obs

@@ -1,0 +1,87 @@
+// Anomaly watchdogs over the telemetry snapshot stream.
+//
+// A multi-hour soak run (ROADMAP) must not burn a day producing garbage:
+// the watchdog looks at each snapshot's deltas and trips on the failure
+// shapes that matter for this simulator —
+//   * ADMISSION-RATE COLLAPSE: the admission/attempt ratio over the last
+//     snapshot interval fell below a floor while attempts keep flowing
+//     (the paper's capacity self-amplification has stalled, e.g. total
+//     message loss or a starved class);
+//   * EVENT-LIST BLOW-UP: pending events grew by a large factor over the
+//     run's baseline (a leak in a lazy source or a retry storm);
+//   * STALLED SIM-TIME: wall-clock snapshots keep coming but simulated
+//     time stopped advancing (a livelocked window).
+// Action is warn (log and keep going) or abort (throw WatchdogAbort; the
+// CLI maps it to exit code 3) — the stop-condition substrate the soak
+// harness item needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace p2ps::obs {
+
+enum class WatchdogAction : std::uint8_t { kOff, kWarn, kAbort };
+
+[[nodiscard]] std::optional<WatchdogAction> parse_watchdog_action(
+    std::string_view token);
+[[nodiscard]] std::string_view to_string(WatchdogAction action);
+
+struct WatchdogConfig {
+  WatchdogAction action = WatchdogAction::kWarn;
+
+  /// Admission-collapse rule: evaluated only when at least this many
+  /// attempts happened within the snapshot interval (small deltas make
+  /// rates meaningless), trips when interval admissions/attempts falls
+  /// below `min_admission_rate`.
+  std::int64_t min_interval_attempts = 1000;
+  double min_admission_rate = 0.001;
+
+  /// Event-list rule: trips when pending events exceed both this floor
+  /// and `growth_factor` × the first snapshot's pending count.
+  std::int64_t min_event_list = 1'000'000;
+  double growth_factor = 8.0;
+
+  /// Stall rule: trips after this many consecutive snapshots without
+  /// sim-time progress.
+  int stall_snapshots = 5;
+};
+
+/// Thrown by the telemetry layer when a rule trips under kAbort.
+class WatchdogAbort : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The registry values one snapshot feeds into the rules.
+struct WatchdogSample {
+  std::int64_t sim_ms = 0;
+  std::int64_t attempts = 0;
+  std::int64_t admissions = 0;
+  std::int64_t pending_events = 0;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config) : config_(config) {}
+
+  /// Evaluates every rule against the previous snapshot; returns the trip
+  /// descriptions for this one (empty = healthy). The caller decides what
+  /// the action means (warn log vs WatchdogAbort).
+  [[nodiscard]] std::vector<std::string> evaluate(const WatchdogSample& sample);
+
+  [[nodiscard]] const WatchdogConfig& config() const { return config_; }
+  [[nodiscard]] std::int64_t trips() const { return trips_; }
+
+ private:
+  WatchdogConfig config_;
+  std::optional<WatchdogSample> prev_;
+  std::int64_t baseline_pending_ = -1;  ///< first snapshot's pending count
+  int stalled_ = 0;
+  std::int64_t trips_ = 0;
+};
+
+}  // namespace p2ps::obs

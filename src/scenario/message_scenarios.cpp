@@ -41,6 +41,7 @@ engine::AsyncSimulationConfig message_config(
       net::LatencyModel::of(options.latency.value_or(default_latency));
   config.transport.drop_probability = options.loss.value_or(default_loss);
   if (options.policy != nullptr) config.selection_policy = options.policy;
+  config.telemetry = options.telemetry;
   return config;
 }
 

@@ -13,8 +13,16 @@
 //            [--shard-threads N]         sharded worker threads (wall-clock only)
 //            [--mechanics]               emit run mechanics (per-shard event
 //                                        counts, windows, peak RSS)
+//            [--telemetry FILE]          periodic JSONL runtime snapshots
+//            [--telemetry-interval MS]   wall-clock ms between snapshots
+//                                        (default 1000; 0 = every poll)
+//            [--watchdog warn|abort|off] anomaly watchdog action (abort
+//                                        maps a tripped rule to exit 3)
 //            [--out FILE]                also write the JSON to FILE
 //            [--compact]                 single-line JSON (default: pretty)
+//   p2ps_run --strip-mechanics           filter: zero the event-core
+//                                        mechanics counters in JSON read
+//                                        from stdin (scripts/ci.sh parity)
 //   p2ps_run --sweep <scenario...>       parameter study: run the cross
 //            [--scenarios a,b]           product of scenarios × seeds ×
 //            [--seeds 1,2] [--scales D,E] scales × backends × latencies ×
@@ -34,6 +42,7 @@
 #include <iomanip>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -42,6 +51,7 @@
 #include "core/selection_policy.hpp"
 #include "net/latency.hpp"
 #include "net/mailbox.hpp"
+#include "obs/telemetry.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
 #include "sim/event_list.hpp"
@@ -74,6 +84,8 @@ int usage(const std::string& program) {
                " [--latency fixed|uniform|twoclass|lognormal] [--loss P]"
                " [--transport batched|unbatched] [--policy NAME]"
                " [--shards N] [--shard-threads N] [--mechanics]"
+               " [--telemetry FILE] [--telemetry-interval MS]"
+               " [--watchdog warn|abort|off]"
                " [--out FILE] [--compact]\n"
             << "       " << program
             << " --sweep <scenario...> [--scenarios a,b] [--seeds N,M]"
@@ -81,6 +93,7 @@ int usage(const std::string& program) {
                " [--latencies fixed,twoclass] [--losses 0,0.02]"
                " [--policies a,b] [--timers wheel|lazy|events] [--threads N]"
                " [--out FILE] [--compact]\n"
+            << "       " << program << " --strip-mechanics < payload.json\n"
             << "       " << program << " --list\n"
             << "policies: " << p2ps::core::selection_policy_names() << '\n';
   return 2;
@@ -188,8 +201,8 @@ std::optional<std::int64_t> parse_axis_int(std::string_view axis,
 /// `--flag token` as token being the flag's value, so a boolean flag
 /// placed before a scenario name would swallow it ("p2ps_run --compact
 /// fig1", "p2ps_run --sweep fig5 fig8").
-constexpr std::string_view kBooleanFlags[] = {"list", "help", "compact",
-                                              "sweep", "mechanics"};
+constexpr std::string_view kBooleanFlags[] = {
+    "list", "help", "compact", "sweep", "mechanics", "strip-mechanics"};
 
 bool is_boolean_flag(std::string_view name) {
   for (const std::string_view flag : kBooleanFlags) {
@@ -246,8 +259,23 @@ int main(int argc, char** argv) {
     const bool help = bool_flag("help");
     const bool compact = bool_flag("compact");
     const bool sweep = bool_flag("sweep");
+    const bool strip_mechanics = bool_flag("strip-mechanics");
     if (list) return list_scenarios();
     if (help) return usage(flags.program());
+
+    if (strip_mechanics) {
+      // Filter mode: normalize stdin's payload by zeroing the event-core
+      // mechanics counters (the shared obs/mechanics_schema.hpp key set)
+      // and echo it — the parity normalizer scripts/ci.sh pipes through.
+      for (const auto& unknown : flags.unused()) {
+        std::cerr << "error: unknown flag --" << unknown << '\n';
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      std::cout << p2ps::scenario::strip_event_mechanics(buffer.str());
+      return 0;
+    }
 
     // Reject unwritable --out paths before the run — a paper-scale run (or
     // an 8-point sweep) is too expensive to discard on a typoed path — but
@@ -420,6 +448,45 @@ int main(int argc, char** argv) {
       }
       options.mechanics = bool_flag("mechanics");
 
+      // Telemetry export (docs/observability.md). Out-of-band by contract:
+      // the scenario payload is byte-identical with or without it.
+      p2ps::obs::TelemetryOptions telemetry_options;
+      telemetry_options.path = flags.get_string("telemetry", "");
+      const std::string interval = flags.get_string("telemetry-interval", "");
+      if (!interval.empty()) {
+        if (telemetry_options.path.empty()) {
+          std::cerr << "error: --telemetry-interval needs --telemetry FILE\n";
+          return 2;
+        }
+        std::int64_t ms = 0;
+        const auto [ptr, ec] = std::from_chars(
+            interval.data(), interval.data() + interval.size(), ms);
+        if (ec != std::errc{} || ptr != interval.data() + interval.size() ||
+            ms < 0) {
+          std::cerr << "error: --telemetry-interval needs a non-negative"
+                       " integer (milliseconds), got '"
+                    << interval << "'\n";
+          return 2;
+        }
+        telemetry_options.interval_ms = ms;
+      }
+      const std::string watchdog = flags.get_string("watchdog", "");
+      if (!watchdog.empty()) {
+        if (telemetry_options.path.empty()) {
+          std::cerr << "error: --watchdog needs --telemetry FILE (watchdogs"
+                       " evaluate on telemetry snapshots)\n";
+          return 2;
+        }
+        const auto action = p2ps::obs::parse_watchdog_action(watchdog);
+        if (!action) {
+          std::cerr << "error: --watchdog must be 'warn', 'abort' or 'off',"
+                       " got '"
+                    << watchdog << "'\n";
+          return 2;
+        }
+        telemetry_options.watchdog.action = *action;
+      }
+
       // Reject typos before the run — a paper-scale simulation is too
       // expensive to discard on one.
       for (const auto& unknown : flags.unused()) {
@@ -427,13 +494,28 @@ int main(int argc, char** argv) {
         return 2;
       }
       if (!open_out()) return 1;
+
+      p2ps::obs::Telemetry telemetry(std::move(telemetry_options));
+      if (!telemetry.ok()) {
+        std::cerr << "error: cannot open --telemetry file\n";
+        return 1;
+      }
+      if (telemetry.enabled()) options.telemetry = &telemetry;
       result = p2ps::scenario::run_scenario(name, options);
+      telemetry.finish();
     }
 
     const std::string text = compact ? result.dump() : result.dump_pretty();
     std::cout << text << '\n';
     if (out_stream.is_open()) out_stream << text << '\n';
     return 0;
+  } catch (const p2ps::obs::WatchdogAbort& e) {
+    // The tripped rule already wrote its snapshot line (evidence outlives
+    // the abort) and the Telemetry destructor emitted the summary during
+    // unwinding; exit 3 distinguishes "the run went bad" from flag/contract
+    // errors for soak harnesses.
+    std::cerr << "watchdog abort: " << e.what() << '\n';
+    return 3;
   } catch (const p2ps::util::ContractViolation& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

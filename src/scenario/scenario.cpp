@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <string_view>
+#include <vector>
 
 #include "metrics/collector.hpp"
+#include "obs/mechanics_schema.hpp"
 #include "util/assert.hpp"
 #include "util/sim_time.hpp"
 
@@ -76,6 +78,7 @@ engine::SimulationConfig paper_config(const ScenarioOptions& options,
   config.event_list = options.event_list;
   config.timers.strategy = options.timers;
   if (options.policy != nullptr) config.selection_policy = options.policy;
+  config.telemetry = options.telemetry;
   return config;
 }
 
@@ -85,6 +88,7 @@ void scale_population(const ScenarioOptions& options, engine::SimulationConfig& 
   config.event_list = options.event_list;
   config.timers.strategy = options.timers;
   if (options.policy != nullptr) config.selection_policy = options.policy;
+  config.telemetry = options.telemetry;
   workload::apply_population_divisor(config.population, options.scale);
 }
 
@@ -111,20 +115,21 @@ Json class_counters_to_json(const metrics::ClassCounters& counters) {
 
 std::string strip_event_mechanics(std::string json_text) {
   // Zero the integer value after every `"<key>":` occurrence of the
-  // event-core mechanics counters. Key order: longer keys first, so
-  // "peak_event_list" never matches inside its suffixed variants.
-  static constexpr std::string_view kKeys[] = {
-      "\"peak_event_list_timers\":",
-      "\"peak_event_list_other\":",
-      "\"peak_event_list\":",
-      "\"events_executed\":",
-      "\"timer_events_scheduled\":",
-      "\"peak_rss_bytes\":",
-      "\"bytes_per_peer\":",
-      "\"pool_allocations\":",
-      "\"pool_reuses\":",
-      "\"windows_idle_skipped\":",
-  };
+  // event-core mechanics counters. The key set is the one shared
+  // mechanics schema (obs/mechanics_schema.hpp) — a counter added there
+  // is stripped here automatically. The schema orders longer keys before
+  // their prefixes (compile-time checked), so the first match at the
+  // earliest position is the longest one: "peak_event_list" never matches
+  // inside its suffixed variants.
+  static const std::vector<std::string> kKeys = [] {
+    std::vector<std::string> keys;
+    const obs::MechanicsField* schema = obs::mechanics_schema();
+    keys.reserve(obs::mechanics_schema_size());
+    for (std::size_t i = 0; i < obs::mechanics_schema_size(); ++i) {
+      keys.push_back('"' + std::string(schema[i].key) + "\":");
+    }
+    return keys;
+  }();
   std::string out;
   out.reserve(json_text.size());
   std::size_t pos = 0;

@@ -73,6 +73,11 @@ struct ScenarioOptions {
   /// because these are partition- and machine-dependent — with the flag
   /// off, payloads stay byte-comparable across shard/thread counts.
   bool mechanics = false;
+  /// Borrowed telemetry sink (--telemetry); null = off. Byte-invisible by
+  /// contract: payloads must be identical with telemetry on or off
+  /// (docs/observability.md; enforced by tests/obs_test.cpp), so nothing
+  /// of it ever appears in the envelope.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 using ScenarioFn = std::function<Json(const ScenarioOptions&)>;

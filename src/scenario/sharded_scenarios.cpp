@@ -39,6 +39,7 @@ engine::ShardedConfig sharded_config(const ScenarioOptions& options,
   config.latency = net::LatencyModel::of(options.latency.value_or(default_latency));
   config.loss = options.loss.value_or(0.0);
   if (options.policy != nullptr) config.selection_policy = options.policy;
+  config.telemetry = options.telemetry;
   return config;
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/phase_profiler.hpp"
 #include "util/assert.hpp"
 
 namespace p2ps::sim {
@@ -83,18 +84,49 @@ void ShardRunner::run(util::SimTime horizon, const Callbacks& callbacks) {
   P2PS_REQUIRE(callbacks.at_barrier != nullptr);
   P2PS_REQUIRE(horizon >= util::SimTime::zero());
 
+  // Profiling wraps the callbacks before the pool captures them, so the
+  // worker-side step timing is thread-confined to each shard's own cell
+  // and the (window, shard) schedule is untouched either way.
+  Callbacks timed = callbacks;
+  obs::PhaseProfiler* profiler = callbacks.profiler;
+  if (profiler != nullptr) {
+    timed.run_to = [profiler, inner = callbacks.run_to](int shard,
+                                                        util::SimTime t) {
+      const obs::ScopedPhase scope(profiler, obs::Phase::kStep, shard);
+      inner(shard, t);
+    };
+    timed.at_barrier = [profiler,
+                        inner = callbacks.at_barrier](util::SimTime t) {
+      const obs::ScopedPhase scope(profiler, obs::Phase::kBarrier);
+      inner(t);
+    };
+  }
+
   std::optional<WindowPool> pool;
-  if (threads_ > 1) pool.emplace(num_shards_, threads_, callbacks);
+  if (threads_ > 1) pool.emplace(num_shards_, threads_, timed);
   const auto run_window = [&](util::SimTime t1) {
-    if (callbacks.at_window_start) callbacks.at_window_start(t1);
+    if (timed.at_window_start) timed.at_window_start(t1);
     if (pool) {
       pool->run_window(t1);
-    } else {
+    } else if (profiler != nullptr) {
+      // Sequential + profiled: fencepost timing. Consecutive shard steps
+      // share one clock read (end of shard s = start of shard s+1), so a
+      // window costs N+1 reads instead of 2N — the clock is the
+      // profiler's dominant cost at hundreds of thousands of tiny
+      // windows per run, and telemetry promises <= 3% wall overhead.
+      std::uint64_t prev = obs::PhaseProfiler::now_ns();
       for (int shard = 0; shard < num_shards_; ++shard) {
         callbacks.run_to(shard, t1);
+        const std::uint64_t now = obs::PhaseProfiler::now_ns();
+        profiler->add_shard_step(shard, now - prev);
+        prev = now;
+      }
+    } else {
+      for (int shard = 0; shard < num_shards_; ++shard) {
+        timed.run_to(shard, t1);
       }
     }
-    callbacks.at_barrier(t1);
+    timed.at_barrier(t1);
     ++windows_;
   };
 

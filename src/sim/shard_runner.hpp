@@ -35,6 +35,10 @@
 
 #include "util/sim_time.hpp"
 
+namespace p2ps::obs {
+class PhaseProfiler;
+}
+
 namespace p2ps::sim {
 
 class ShardRunner {
@@ -54,6 +58,13 @@ class ShardRunner {
     /// Barrier step at `window_end`, coordinator-only, after every shard
     /// reached window_end: exchange envelopes, publish directory joins.
     std::function<void(util::SimTime window_end)> at_barrier;
+
+    /// Optional wall-clock phase profiler (obs/phase_profiler.hpp): when
+    /// set, the runner times each shard's run_to into the shard's step
+    /// cell (worker-side, thread-confined) and the at_barrier callback
+    /// into the barrier phase. Pure observation — the (window, shard)
+    /// schedule is identical with or without it.
+    obs::PhaseProfiler* profiler = nullptr;
   };
 
   /// `lookahead` must be >= 1 ms (the tick granularity); `threads` is

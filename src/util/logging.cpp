@@ -31,12 +31,18 @@ Logger& Logger::global() {
 
 void Logger::set_sink(Sink sink) {
   if (sink) {
+    const std::lock_guard<std::mutex> guard(sink_mutex_);
     sink_ = std::move(sink);
   }
 }
 
 void Logger::log(LogLevel level, std::string_view message) {
-  if (enabled(level)) sink_(level, message);
+  if (!enabled(level)) return;
+  // Invoke under the lock: a concurrent set_sink must not destroy the
+  // std::function out from under this call, and sink output (a stream, a
+  // test capture vector) stays serialized.
+  const std::lock_guard<std::mutex> guard(sink_mutex_);
+  sink_(level, message);
 }
 
 std::ostream& operator<<(std::ostream& os, SimTime t) {

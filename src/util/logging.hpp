@@ -3,9 +3,18 @@
 // The simulator is hot-path sensitive, so log statements evaluate their
 // stream expressions only when the level is enabled. A single global logger
 // is sufficient for a CLI research library; sinks are swappable for tests.
+//
+// Thread safety: shard workers (sim::ShardRunner) and sweep workers log
+// through the same global instance, so the level is atomic (the hot
+// enabled() check is one relaxed load) and the sink swap/invoke are
+// mutex-guarded — a test swapping the sink can never race a worker
+// mid-call into a destroyed std::function. Sink callbacks themselves run
+// under the mutex, so one sink invocation never interleaves with another.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -23,9 +32,16 @@ class Logger {
   /// The process-wide logger. Defaults to stderr at kWarn.
   [[nodiscard]] static Logger& global();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    const LogLevel current = level_.load(std::memory_order_relaxed);
+    return level >= current && current != LogLevel::kOff;
+  }
 
   /// Replaces the output sink (e.g. a capture buffer in tests).
   void set_sink(Sink sink);
@@ -34,7 +50,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex sink_mutex_;
   Sink sink_;
 };
 

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -383,6 +386,43 @@ TEST(Logger, RespectsLevelAndSink) {
   P2PS_WARN("visible " << 2);
   EXPECT_EQ(captured.size(), 1u);
   EXPECT_EQ(captured[0], "visible 2");
+  logger.set_level(old_level);
+  logger.set_sink([](LogLevel, std::string_view) {});
+}
+
+// Shard and sweep workers log through the one global instance while tests
+// swap sinks: concurrent logging against mid-run sink swaps and level
+// changes must never tear a sink call or race a destroyed std::function
+// (run under TSan in CI to mean anything beyond "did not crash").
+TEST(Logger, ConcurrentLoggingSurvivesSinkAndLevelChanges) {
+  auto& logger = Logger::global();
+  const LogLevel old_level = logger.level();
+  std::atomic<std::int64_t> delivered{0};
+  logger.set_sink([&](LogLevel, std::string_view message) {
+    EXPECT_FALSE(message.empty());
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  logger.set_level(LogLevel::kInfo);
+  std::vector<std::thread> workers;
+  workers.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([w] {
+      for (int i = 0; i < 500; ++i) {
+        P2PS_INFO("worker " << w << " message " << i);
+      }
+    });
+  }
+  // Meanwhile the coordinator churns the level and swaps the sink — the
+  // exact pattern a test harness inflicts on live shard workers.
+  for (int i = 0; i < 50; ++i) {
+    logger.set_level(i % 2 == 0 ? LogLevel::kInfo : LogLevel::kWarn);
+    logger.set_sink([&](LogLevel, std::string_view) {
+      delivered.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  logger.set_level(LogLevel::kInfo);
+  for (auto& worker : workers) worker.join();
+  EXPECT_GT(delivered.load(), 0);
   logger.set_level(old_level);
   logger.set_sink([](LogLevel, std::string_view) {});
 }
