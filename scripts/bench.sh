@@ -9,7 +9,19 @@
 #   P2PS_BENCH_SCALE   population divisor              (default 1 = full)
 #   P2PS_BENCH_REPS    timed repetitions per backend   (default 3, best-of)
 #
-# Output schema (BENCH_9.json):
+# Output schema (BENCH_10.json):
+#   host                       detected cores + CPU model: the context every
+#                              wall-clock number below is meaningless without
+#   sharded.thread_scaling     perf_sharded_scale --shards 8 timed at
+#                              --shard-threads 1/2/4/8 (best-of-reps each):
+#                              the wall-clock-only knob's scaling matrix —
+#                              expect ~1x on a single-core container
+#   sharded.windows_fused      the adaptive-lookahead dispatch split
+#   sharded.directory_flushes  (docs/sharding.md, PR 10): dispatches vs
+#                              absorbed sub-windows, mean sub-window span,
+#                              and O(due-joins) directory publications —
+#                              after a fusion-axis parity verify (fusion
+#                              on/off x --shards 1/4/8, byte-identical)
 #   telemetry                  perf_sharded_scale timed with --telemetry
 #                              attached vs without: the observability
 #                              layer's overhead gate (<= 3% wall clock,
@@ -55,12 +67,18 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
-out_file="${2:-${repo_root}/BENCH_9.json}"
+out_file="${2:-${repo_root}/BENCH_10.json}"
 seed="${P2PS_BENCH_SEED:-2002}"
 scale="${P2PS_BENCH_SCALE:-1}"
 reps="${P2PS_BENCH_REPS:-3}"
 scenario="perf_steady"
 cores="$(nproc)"
+# Host context: every wall-clock number below is a property of this
+# machine; record what it was. The model-name scrape tolerates absence
+# (non-x86 /proc/cpuinfo layouts) rather than failing the bench.
+cpu_model="$(awk -F': *' '/^model name/ {print $2; exit}' /proc/cpuinfo \
+    2> /dev/null || true)"
+cpu_model="${cpu_model:-unknown}"
 
 echo "==> configure + build (Release)"
 cmake -B "${build_dir}" -S "${repo_root}" > /dev/null
@@ -188,19 +206,28 @@ timer_speedup_x100=$(( msg_best_ms_wheel > 0 \
 
 # The sharded engine's full-scale acceptance gate: the merged
 # perf_sharded_scale payload (1,002,000 peers at scale 1) must be
-# byte-identical for --shards 1, 4 and 8 before any sharded number enters
-# the trajectory. Mechanics stay off here so whole documents compare.
-echo "==> sharded verify: perf_sharded_scale full-scale parity (--shards 1/4/8)"
+# byte-identical across the whole (fusion on/off) x (--shards 1/4/8)
+# matrix before any sharded number enters the trajectory — window fusion
+# is byte-invisible by construction (docs/sharding.md, "Adaptive
+# lookahead"), and this is where that claim meets full scale. Mechanics
+# stay off here so whole documents compare.
+echo "==> sharded verify: perf_sharded_scale full-scale parity (fusion on/off x --shards 1/4/8)"
 "${runner}" perf_sharded_scale --seed "${seed}" --scale "${scale}" --compact \
     --shards 8 > "${tmp_dir}/sharded.s8.json"
-for shards in 1 4; do
-  "${runner}" perf_sharded_scale --seed "${seed}" --scale "${scale}" \
-      --compact --shards "${shards}" > "${tmp_dir}/sharded.s${shards}.json"
-  cmp "${tmp_dir}/sharded.s8.json" "${tmp_dir}/sharded.s${shards}.json" || {
-    echo "FAIL: perf_sharded_scale differs between --shards 8 and" \
-         "--shards ${shards}" >&2
-    exit 1
-  }
+for shards in 1 4 8; do
+  for fusion_args in "" "--fusion 1"; do
+    # shards 8 + fused default is the reference itself; skip re-running it.
+    if [ "${shards}" -eq 8 ] && [ -z "${fusion_args}" ]; then continue; fi
+    # shellcheck disable=SC2086 — fusion_args is deliberately word-split
+    "${runner}" perf_sharded_scale --seed "${seed}" --scale "${scale}" \
+        --compact --shards "${shards}" ${fusion_args} \
+        > "${tmp_dir}/sharded.variant.json"
+    cmp "${tmp_dir}/sharded.s8.json" "${tmp_dir}/sharded.variant.json" || {
+      echo "FAIL: perf_sharded_scale differs between the fused --shards 8" \
+           "reference and --shards ${shards} ${fusion_args:-<fused default>}" >&2
+      exit 1
+    }
+  done
 done
 
 echo "==> sharded timing: perf_sharded_scale --shards 8 (${reps} reps, best-of)"
@@ -231,12 +258,41 @@ sharded_rss="$(grep -o '"peak_rss_bytes":[0-9]*' \
     "${tmp_dir}/sharded.mech.json" | head -1 | cut -d: -f2)"
 sharded_windows="$(grep -o '"windows":[0-9]*' \
     "${tmp_dir}/sharded.mech.json" | head -1 | cut -d: -f2)"
+# The PR-10 mechanics: dispatches absorbed by window fusion, the mean
+# sub-window span they covered, and how many times the membership
+# directory actually published (O(due joins) epochs, not O(population)).
+sharded_windows_fused="$(grep -o '"windows_fused":[0-9]*' \
+    "${tmp_dir}/sharded.mech.json" | head -1 | cut -d: -f2)"
+sharded_lookahead_avg_ms="$(grep -o '"lookahead_avg_ms":[0-9.]*' \
+    "${tmp_dir}/sharded.mech.json" | head -1 | cut -d: -f2)"
+sharded_directory_flushes="$(grep -o '"directory_flushes":[0-9]*' \
+    "${tmp_dir}/sharded.mech.json" | head -1 | cut -d: -f2)"
 sharded_cross="$(grep -o '"cross_shard_messages":[0-9]*' \
     "${tmp_dir}/sharded.mech.json" | head -1 | cut -d: -f2)"
 sharded_eps_total="$(eps "${sharded_events_total}" "${sharded_best_ms}")"
 sharded_per_shard_eps="$(for n in ${sharded_events_list}; do
   eps "${n}" "${sharded_best_ms}"
 done | paste -sd, -)"
+
+# The --shard-threads scaling matrix: the wall-clock-only knob timed at
+# 1/2/4/8 workers (best-of-reps each). Threads never change bytes — the
+# parity gates above hold for any count — so this is pure host context:
+# on a single-core container expect ~1x and read it as such.
+echo "==> sharded thread scaling: --shard-threads 1/2/4/8 (${reps} reps each, best-of)"
+sharded_thread_scaling=""
+for threads in 1 2 4 8; do
+  best=""
+  for rep in $(seq "${reps}"); do
+    start="$(now_ms)"
+    "${runner}" perf_sharded_scale --seed "${seed}" --scale "${scale}" \
+        --compact --shards 8 --shard-threads "${threads}" > /dev/null
+    elapsed=$(( $(now_ms) - start ))
+    echo "    perf_sharded_scale --shard-threads ${threads} rep ${rep}: ${elapsed} ms"
+    if [ -z "${best}" ] || [ "${elapsed}" -lt "${best}" ]; then best="${elapsed}"; fi
+  done
+  entry="{\"threads\": ${threads}, \"wall_ms\": ${best}}"
+  sharded_thread_scaling="${sharded_thread_scaling:+${sharded_thread_scaling}, }${entry}"
+done
 
 # The PR-9 headline: telemetry must be out-of-band in wall clock too, not
 # just in bytes. Re-time perf_sharded_scale with a live --telemetry stream
@@ -353,6 +409,10 @@ m10_pool_reuses="$(grep -o '"pool_reuses":[0-9]*' \
     "${tmp_dir}/10m.mech.json" | head -1 | cut -d: -f2)"
 m10_windows="$(grep -o '"windows":[0-9]*' \
     "${tmp_dir}/10m.mech.json" | head -1 | cut -d: -f2)"
+m10_windows_fused="$(grep -o '"windows_fused":[0-9]*' \
+    "${tmp_dir}/10m.mech.json" | head -1 | cut -d: -f2)"
+m10_directory_flushes="$(grep -o '"directory_flushes":[0-9]*' \
+    "${tmp_dir}/10m.mech.json" | head -1 | cut -d: -f2)"
 m10_eps="$(eps "${m10_events_total}" "${m10_best_ms}")"
 if [ "${scale}" -eq 1 ] && [ "${m10_bytes_per_peer}" -gt 48 ]; then
   echo "FAIL: perf_sharded_10m bytes/peer ${m10_bytes_per_peer} exceeds the" \
@@ -360,29 +420,46 @@ if [ "${scale}" -eq 1 ] && [ "${m10_bytes_per_peer}" -gt 48 ]; then
   exit 1
 fi
 
-echo "==> sweep: 8 points (perf_steady x 8 seeds, scale $((scale * 4))), serial vs ${cores} threads"
+# Interleaved serial/parallel pairs, best-of each, for the same reason the
+# telemetry section interleaves: a sequential layout lets warm-up drift
+# masquerade as a threading effect. --threads 1 takes the pool-free serial
+# path (PR 10), so this also times that path against the worker pool.
+echo "==> sweep: 8 points (perf_steady x 8 seeds, scale $((scale * 4))), serial vs ${cores} threads (${reps} pairs, best-of)"
 sweep_args=(--sweep perf_steady --seeds 1,2,3,4,5,6,7,8
             --scales $(( scale * 4 )) --compact)
-start="$(now_ms)"
-"${runner}" "${sweep_args[@]}" --threads 1 > "${tmp_dir}/sweep.serial.json"
-serial_ms=$(( $(now_ms) - start ))
-start="$(now_ms)"
-"${runner}" "${sweep_args[@]}" --threads "${cores}" > "${tmp_dir}/sweep.parallel.json"
-parallel_ms=$(( $(now_ms) - start ))
+serial_ms=""
+parallel_ms=""
+for rep in $(seq "${reps}"); do
+  start="$(now_ms)"
+  "${runner}" "${sweep_args[@]}" --threads 1 > "${tmp_dir}/sweep.serial.json"
+  elapsed=$(( $(now_ms) - start ))
+  echo "    sweep serial   rep ${rep}: ${elapsed} ms"
+  if [ -z "${serial_ms}" ] || [ "${elapsed}" -lt "${serial_ms}" ]; then
+    serial_ms="${elapsed}"
+  fi
+  start="$(now_ms)"
+  "${runner}" "${sweep_args[@]}" --threads "${cores}" > "${tmp_dir}/sweep.parallel.json"
+  elapsed=$(( $(now_ms) - start ))
+  echo "    sweep parallel rep ${rep}: ${elapsed} ms"
+  if [ -z "${parallel_ms}" ] || [ "${elapsed}" -lt "${parallel_ms}" ]; then
+    parallel_ms="${elapsed}"
+  fi
+done
 cmp "${tmp_dir}/sweep.serial.json" "${tmp_dir}/sweep.parallel.json" || {
   echo "FAIL: sweep report differs between --threads 1 and --threads ${cores}" >&2
   exit 1
 }
-echo "    serial ${serial_ms} ms, ${cores}-thread ${parallel_ms} ms"
+echo "    serial ${serial_ms} ms, ${cores}-thread ${parallel_ms} ms (best of ${reps})"
 speedup_x100=$(( parallel_ms > 0 ? serial_ms * 100 / parallel_ms : 0 ))
 
 cat > "${out_file}" <<EOF
 {
-  "bench": "runtime telemetry layer (out-of-band observability over the sharded engine)",
+  "bench": "adaptive-lookahead window fusion + O(due-joins) directory epochs",
   "scenario": "${scenario}",
   "seed": ${seed},
   "scale": ${scale},
   "cores": ${cores},
+  "host": {"cores": ${cores}, "cpu_model": "${cpu_model}"},
   "events_executed": ${events},
   "peak_peers": ${peak_peers},
   "single_run": {
@@ -446,6 +523,8 @@ cat > "${out_file}" <<EOF
     "events_executed_total": ${m10_events_total},
     "events_per_sec_total": ${m10_eps},
     "windows": ${m10_windows},
+    "windows_fused": ${m10_windows_fused},
+    "directory_flushes": ${m10_directory_flushes},
     "peak_rss_bytes": ${m10_rss},
     "bytes_per_peer": ${m10_bytes_per_peer},
     "bytes_per_peer_budget": 48,
@@ -457,6 +536,7 @@ cat > "${out_file}" <<EOF
     "population": ${sharded_population},
     "shards": 8,
     "parity_verified_shards": [1, 4, 8],
+    "parity_verified_fusion": [1, "default"],
     "wall_ms": ${sharded_best_ms},
     "events_executed_total": ${sharded_events_total},
     "events_per_sec_total": ${sharded_eps_total},
@@ -464,10 +544,15 @@ cat > "${out_file}" <<EOF
     "peak_event_list_max": ${sharded_peak_max},
     "peak_rss_bytes": ${sharded_rss},
     "windows": ${sharded_windows},
-    "cross_shard_messages": ${sharded_cross}
+    "windows_fused": ${sharded_windows_fused},
+    "lookahead_avg_ms": ${sharded_lookahead_avg_ms},
+    "directory_flushes": ${sharded_directory_flushes},
+    "cross_shard_messages": ${sharded_cross},
+    "thread_scaling": [${sharded_thread_scaling}]
   },
   "sweep": {
     "points": 8,
+    "reps": ${reps},
     "serial_wall_ms": ${serial_ms},
     "parallel_wall_ms": ${parallel_ms},
     "parallel_threads": ${cores},
@@ -484,14 +569,19 @@ echo "==> wrote ${out_file}: ${events} events, best ${headline} events/sec" \
      "${msg_peak_wheel} (wheel, ${timer_peak_reduction}x)," \
      "wall ${msg_best_ms_events}ms -> ${msg_best_ms_wheel}ms wheel /" \
      "${msg_best_ms_lazy}ms lazy;" \
-     "sharded: ${sharded_population} peers / 8 shards, parity 1/4/8 OK," \
-     "${sharded_events_total} events in ${sharded_best_ms}ms" \
-     "(${sharded_eps_total}/s), peak list ${sharded_peak_max}," \
-     "RSS ${sharded_rss}B;" \
+     "sharded: ${sharded_population} peers / 8 shards, parity" \
+     "fusion x 1/4/8 OK, ${sharded_events_total} events in" \
+     "${sharded_best_ms}ms (${sharded_eps_total}/s)," \
+     "${sharded_windows} dispatches + ${sharded_windows_fused} fused" \
+     "(avg span ${sharded_lookahead_avg_ms}ms)," \
+     "${sharded_directory_flushes} directory flushes," \
+     "peak list ${sharded_peak_max}, RSS ${sharded_rss}B;" \
      "telemetry: ${telemetry_best_ms}ms on vs ${telemetry_base_ms}ms off" \
      "(overhead x100 = ${telemetry_overhead_x100}, gate 3%)," \
      "${telemetry_snapshots} snapshots;" \
      "10M: ${m10_population} peers / 8 shards, parity 1/4/8 + threads OK," \
      "${m10_events_total} events in ${m10_best_ms}ms (${m10_eps}/s)," \
+     "${m10_directory_flushes} directory flushes," \
      "RSS ${m10_rss}B = ${m10_bytes_per_peer}B/peer (gate 48);" \
-     "sweep ${serial_ms}ms serial -> ${parallel_ms}ms on ${cores} threads"
+     "sweep ${serial_ms}ms serial -> ${parallel_ms}ms on ${cores} threads" \
+     "(best of ${reps})"

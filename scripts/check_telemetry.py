@@ -49,7 +49,8 @@ def check_phases(line_no: int, record: dict) -> None:
     if not isinstance(phases, dict):
         fail(line_no, "'phases' is not an object")
     for key in ("step_ms_per_shard", "step_ms", "route_drain_ms",
-                "barrier_ms", "merge_ms", "imbalance"):
+                "barrier_ms", "merge_ms", "imbalance",
+                "unit_windows", "fused_windows", "fused_sub_windows"):
         if key not in phases:
             fail(line_no, f"'phases' missing '{key}'")
         if key == "step_ms_per_shard":

@@ -284,6 +284,38 @@ grep -q '"mechanics"' "${smoke_dir}/msg_fig5_sharded.1.json" && {
   exit 1
 }
 
+# Fusion smoke: adaptive-lookahead window fusion is byte-invisible
+# (docs/sharding.md, "Adaptive lookahead") — the unfused reference mode
+# --fusion 1 must match the fused default byte-for-byte, a fused
+# --mechanics run must actually fuse (windows_fused > 0), and junk
+# --fusion tokens are rejected with the usage error before any run.
+echo "==> fusion smoke: msg_fig5_sharded --fusion 1 vs fused default"
+for bad_fusion in banana 0 -3 2.5; do
+  status=0
+  "${runner}" msg_fig5_sharded --fusion "${bad_fusion}" --scale "${scale}" \
+      --compact > /dev/null 2>&1 || status=$?
+  if [ "${status}" -ne 2 ]; then
+    echo "FAIL: --fusion '${bad_fusion}' exited ${status} (expected usage" \
+         "error 2)" >&2
+    exit 1
+  fi
+done
+"${runner}" msg_fig5_sharded --seed "${seed}" --scale "${scale}" --compact \
+    --fusion 1 > "${smoke_dir}/msg_fig5_sharded.f1.json"
+cmp "${smoke_dir}/msg_fig5_sharded.1.json" \
+    "${smoke_dir}/msg_fig5_sharded.f1.json" || {
+  echo "FAIL: msg_fig5_sharded differs between --fusion 1 and the fused" \
+       "default" >&2
+  exit 1
+}
+"${runner}" msg_fig5_sharded --seed "${seed}" --scale "${scale}" --compact \
+    --mechanics > "${smoke_dir}/msg_fig5_sharded.fused_mechanics.json"
+grep -q '"windows_fused":[1-9]' \
+    "${smoke_dir}/msg_fig5_sharded.fused_mechanics.json" || {
+  echo "FAIL: the fused default reported no fused windows (windows_fused)" >&2
+  exit 1
+}
+
 # Memory smoke: the compact-peer-state budget (docs/memory.md). A 1/10th
 # perf_sharded_10m run (1,002,000 peers — the PR-7 headline population)
 # must stay under a peak RSS only the hot/cold split can meet: the AoS
@@ -368,5 +400,5 @@ fi
 
 echo "==> OK: build, tests, ${count}-scenario smoke pass, perf smoke," \
      "message smoke, sweep smoke, latency-axis smoke, timer smoke," \
-     "loss-axis smoke, policy smoke, shard smoke, memory smoke and" \
-     "telemetry smoke all green"
+     "loss-axis smoke, policy smoke, shard smoke, fusion smoke," \
+     "memory smoke and telemetry smoke all green"

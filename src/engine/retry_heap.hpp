@@ -21,9 +21,9 @@
 // invoke); tests/shard_test.cpp runs the two differentially.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -73,10 +73,10 @@ class RetryHeap {
     }
     P2PS_CHECK_MSG(next_seq_ != 0xFFFFFFFFu, "retry seq overflow");
     const Entry entry{static_cast<std::uint32_t>(due_ms), next_seq_++, local};
-    heap_.push(entry);
+    heap_push(entry);
     // Only a new earliest entry preempts the in-flight event; otherwise
     // the armed event still fires first and re-arms from the heap.
-    if (heap_.top().seq == entry.seq) arm();
+    if (heap_.front().seq == entry.seq) arm();
   }
 
   /// Peers currently waiting on an in-horizon retry.
@@ -87,24 +87,69 @@ class RetryHeap {
   }
 
  private:
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.due_ms != b.due_ms) return a.due_ms > b.due_ms;
-      return a.seq > b.seq;
+  // Flat 8-ary min-heap on (due_ms, seq), replacing std::priority_queue's
+  // binary layout. Under admission collapse the waiting population — and
+  // so this heap — reaches hundreds of thousands of entries per shard, and
+  // every retry pays one sift-down; a binary sift touches ~log2(N) ≈ 17
+  // scattered cache lines where the 8-ary tree touches ~6 levels whose 8
+  // children (96 bytes) sit in two adjacent lines. Pop order is the exact
+  // (due, seq) order the binary heap produced, so the change is
+  // byte-invisible (seq is unique — the order is total).
+  [[nodiscard]] static std::uint64_t key(const Entry& e) {
+    return (static_cast<std::uint64_t>(e.due_ms) << 32) | e.seq;
+  }
+
+  void heap_push(const Entry& entry) {
+    std::size_t hole = heap_.size();
+    heap_.push_back(entry);
+    const std::uint64_t k = key(entry);
+    while (hole != 0) {
+      const std::size_t parent = (hole - 1) / 8;
+      if (k >= key(heap_[parent])) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
     }
-  };
+    heap_[hole] = entry;
+  }
+
+  void heap_pop() {
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty()) return;
+    const std::uint64_t k = key(last);
+    const std::size_t n = heap_.size();
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t first = hole * 8 + 1;
+      if (first >= n) break;
+      const std::size_t end = std::min(first + 8, n);
+      std::size_t best = first;
+      std::uint64_t best_key = key(heap_[first]);
+      for (std::size_t child = first + 1; child < end; ++child) {
+        const std::uint64_t child_key = key(heap_[child]);
+        if (child_key < best_key) {
+          best = child;
+          best_key = child_key;
+        }
+      }
+      if (best_key >= k) break;
+      heap_[hole] = heap_[best];
+      hole = best;
+    }
+    heap_[hole] = last;
+  }
 
   void arm() {
     if (in_flight_.valid()) simulator_.cancel(in_flight_);
     in_flight_ = simulator_.schedule_at(
-        util::SimTime::millis(heap_.top().due_ms), [this] { fire(); });
+        util::SimTime::millis(heap_.front().due_ms), [this] { fire(); });
   }
 
   void fire() {
     in_flight_ = sim::EventId::invalid();
     P2PS_CHECK(!heap_.empty());
-    const Entry entry = heap_.top();
-    heap_.pop();
+    const Entry entry = heap_.front();
+    heap_pop();
     // Re-arm before invoking — same-due retries fire back-to-back ahead of
     // whatever the handler schedules at this instant (the ArrivalSource
     // ordering argument).
@@ -115,7 +160,7 @@ class RetryHeap {
   sim::Simulator& simulator_;
   std::int64_t horizon_ms_;
   OnDue on_due_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;
   std::uint32_t next_seq_ = 0;
   std::uint64_t dropped_beyond_horizon_ = 0;
   sim::EventId in_flight_ = sim::EventId::invalid();

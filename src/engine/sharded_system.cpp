@@ -93,6 +93,7 @@ void ShardedConfig::validate() const {
                    "a commit flight, or commits would race their own expiry");
   P2PS_REQUIRE(shards >= 1);
   P2PS_REQUIRE(threads >= 1);
+  P2PS_REQUIRE_MSG(fusion >= 1, "window fusion factor must be at least 1");
   P2PS_REQUIRE_MSG(sample_interval > response_timeout &&
                        sample_interval > latency.max_latency(),
                    "samplers are armed one full interval ahead; the interval "
@@ -133,19 +134,39 @@ ShardedClassTotals& ShardedClassTotals::operator+=(const ShardedClassTotals& oth
 
 void ShardedSystem::Directory::enqueue(std::uint32_t visible_ms,
                                        std::uint32_t peer) {
-  pending_heap_.push_back(Join{visible_ms, peer});
-  std::push_heap(pending_heap_.begin(), pending_heap_.end(), Later{});
+  pending_.push_back(Join{visible_ms, peer});
+  if (visible_ms < next_visible_) next_visible_ = visible_ms;
 }
 
 void ShardedSystem::Directory::flush_due(util::SimTime through) {
   const std::int64_t through_ms = through.as_millis();
-  while (!pending_heap_.empty() &&
-         pending_heap_.front().visible_ms <= through_ms) {
-    std::pop_heap(pending_heap_.begin(), pending_heap_.end(), Later{});
-    const Join entry = pending_heap_.back();
-    pending_heap_.pop_back();
+  // O(1) fast path: the cached minimum visibility tick lies beyond the
+  // window end, so nothing can be due. This is the overwhelmingly common
+  // case — joins arrive in bursts, windows are many.
+  if (static_cast<std::int64_t>(next_visible_) > through_ms) return;
+  ++flushes_;
+  // Slow path, O(due joins log due joins): sort the whole parked set by
+  // (visible, peer) once and publish the due prefix. Sorting wholesale is
+  // fine because conservative lookahead makes every parked join due by
+  // the NEXT window it survives to (a join created at s <= t1 is visible
+  // at s + W <= t1 + W, and window ends advance by at most W) — so the
+  // remainder left behind is empty or tiny, never O(population).
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Join& a, const Join& b) {
+              if (a.visible_ms != b.visible_ms) {
+                return a.visible_ms < b.visible_ms;
+              }
+              return a.peer < b.peer;
+            });
+  std::size_t due = 0;
+  while (due < pending_.size() &&
+         static_cast<std::int64_t>(pending_[due].visible_ms) <= through_ms) {
+    ++due;
+  }
+  for (std::size_t i = 0; i < due; ++i) {
+    const Join entry = pending_[i];
     // The flushed prefix must stay totally ordered by (visible, peer):
-    // within one flush the heap pops in order, and across flushes every
+    // within one flush the sort guarantees it, and across flushes every
     // later join is visible strictly after the previous flush bound
     // (conservative lookahead — see docs/sharding.md).
     P2PS_CHECK_MSG(
@@ -156,6 +177,9 @@ void ShardedSystem::Directory::flush_due(util::SimTime through) {
     visible_ms_.push_back(entry.visible_ms);
     peers_.push_back(entry.peer);
   }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(due));
+  next_visible_ = pending_.empty() ? kNeverVisible : pending_.front().visible_ms;
 }
 
 std::size_t ShardedSystem::Directory::visible_count(int shard, util::SimTime at) {
@@ -170,6 +194,10 @@ std::size_t ShardedSystem::Directory::visible_count(int shard, util::SimTime at)
 // ---------------------------------------------------------------------------
 
 struct ShardedSystem::Shard {
+  /// Back-pointer for the router's context-pointer delivery trampoline
+  /// (ShardRouter::Handler is a raw function pointer, not a std::function,
+  /// so the capture state lives here).
+  ShardedSystem* owner;
   int index;
   sim::Simulator sim;
   /// Lazy sources — one pending event each for the whole population
@@ -246,7 +274,8 @@ struct ShardedSystem::Shard {
   }
 
   Shard(ShardedSystem& system, int index, std::int64_t owned)
-      : index(index),
+      : owner(&system),
+        index(index),
         sim(system.config_.event_list),
         retries(sim, system.config_.horizon,
                 [&system, this](std::uint32_t local) {
@@ -325,9 +354,11 @@ ShardedSystem::ShardedSystem(ShardedConfig config)
     shard.next_arrival = ((s - config_.population.seeds) % config_.shards +
                           config_.shards) %
                          config_.shards;
-    router_.bind(s, shard.sim, [this, &shard](const Envelope& envelope) {
-      on_deliver(shard, envelope);
-    });
+    router_.bind(s, shard.sim, &shard,
+                 [](void* context, const Envelope& envelope) {
+                   Shard& target = *static_cast<Shard*>(context);
+                   target.owner->on_deliver(target, envelope);
+                 });
   }
 }
 
@@ -449,10 +480,12 @@ void ShardedSystem::send(Shard& shard, std::uint32_t from_local,
   const util::SimTime latency =
       config_.latency.sample(class_of(from), class_of(to), latency_rng);
   Envelope envelope;
-  envelope.from = from;
-  envelope.to = to;
-  envelope.sent_at = now;
-  envelope.deliver_at = now + latency;
+  // Peer ids are dense array indexes (far below 2^32); ticks are bounded
+  // by validate() — the compact envelope casts are checked, not lossy.
+  envelope.from = static_cast<std::uint32_t>(from.value());
+  envelope.to = static_cast<std::uint32_t>(to.value());
+  envelope.sent_at = to_ms32(now);
+  envelope.deliver_at = to_ms32(now + latency);
   envelope.seq = shard.send_seq[from_local]++;
   envelope.payload = msg;
   router_.send(shard.index, std::move(envelope));
@@ -465,7 +498,7 @@ void ShardedSystem::on_deliver(Shard& shard, const Envelope& envelope) {
   // partitioning (docs/sharding.md).
   shard.deadlines.poll();
   ++shard.delivered;
-  const std::uint32_t local = local_index(envelope.to);
+  const std::uint32_t local = local_index(core::PeerId{envelope.to});
   const Msg& msg = envelope.payload;
   switch (msg.kind) {
     case MsgKind::kProbe:
@@ -531,7 +564,7 @@ void ShardedSystem::on_probe(Shard& shard, std::uint32_t local,
   shard.set_status(local, SupplierStatus::kHeld);
   shard.word[local] = envelope.payload.session;
   shard.aux[local] = to_ms32(shard.sim.now() + config_.hold_timeout);
-  send(shard, local, envelope.from,
+  send(shard, local, core::PeerId{envelope.from},
        Msg{MsgKind::kGrant, class_of(global_id(shard.index, local)),
            envelope.payload.session});
 }
@@ -548,9 +581,7 @@ void ShardedSystem::on_grant(Shard& shard, std::uint32_t local,
   if (index == kNoAttempt) return;  // concluded — deterministically late
   Attempt& attempt = shard.attempts[index];
   if (attempt.session != envelope.payload.session) return;  // stale attempt
-  attempt.replies.push_back(
-      Reply{static_cast<std::uint32_t>(envelope.from.value()),
-            envelope.payload.cls});
+  attempt.replies.push_back(Reply{envelope.from, envelope.payload.cls});
   if (attempt.replies.size() == attempt.probed) {
     conclude_attempt(shard, attempt.peer_local);
   }
@@ -888,7 +919,8 @@ ShardedResult ShardedSystem::run() {
         "cross_shard_batch_messages", {0, 1, 8, 64, 512, 4096, 32768});
   }
 
-  sim::ShardRunner runner(config_.shards, lookahead_, config_.threads);
+  sim::ShardRunner runner(config_.shards, lookahead_, config_.threads,
+                          config_.fusion);
   sim::ShardRunner::Callbacks callbacks;
   callbacks.profiler = telem_ ? telem_->profiler : nullptr;
   callbacks.next_event_time = [this](int shard) {
@@ -975,7 +1007,10 @@ ShardedResult ShardedSystem::run() {
   result.pool_allocations += router_.pool_allocations();
   result.pool_reuses += router_.pool_reuses();
   result.windows = runner.windows();
+  result.windows_fused = runner.windows_fused();
   result.windows_idle_skipped = runner.idle_skips();
+  result.lookahead_avg_ms = runner.lookahead_avg_ms();
+  result.directory_flushes = directory_.flushes();
   result.peak_rss_bytes = process_peak_rss_bytes();
 
   // Merge the per-shard trace rings into the canonical (time, peer) order.

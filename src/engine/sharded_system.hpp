@@ -102,6 +102,14 @@ struct ShardedConfig {
   int shards = 1;
   /// Worker threads (clamped to [1, shards]); wall-clock only.
   int threads = 1;
+  /// Window-fusion factor (>= 1): up to this many unit lookahead windows
+  /// execute per runner dispatch (sim/shard_runner.hpp). Byte-invisible
+  /// like shards/threads — the executed sub-window sequence is identical
+  /// for every value; only mechanics counters and wall-clock change. 32
+  /// is the measured sweet spot on perf_sharded_scale: higher factors
+  /// accumulate enough undelivered cross-shard traffic between exchanges
+  /// to spill the cache and give the barrier savings back.
+  int fusion = 32;
 
   sim::EventListKind event_list = sim::EventListKind::kBinaryHeap;
   std::uint64_t seed = 2002;
@@ -176,8 +184,14 @@ struct ShardedResult {
 
   /// Partition-dependent diagnostics (mechanics-only in payloads).
   std::uint64_t cross_shard_messages = 0;
-  std::int64_t windows = 0;
+  std::int64_t windows = 0;               ///< runner dispatches
+  std::int64_t windows_fused = 0;         ///< sub-windows absorbed by fusion
   std::int64_t windows_idle_skipped = 0;
+  /// Mean simulated span per unit sub-window, ms (idle skips included).
+  double lookahead_avg_ms = 0.0;
+  /// Directory slow-path publications (the O(1) nothing-due fast path
+  /// covers every other window — see Directory::flushes()).
+  std::uint64_t directory_flushes = 0;
   std::vector<ShardMechanics> per_shard;
   std::int64_t peak_rss_bytes = 0;
   /// Cold-state pool traffic (engine RNG/attempt pools + router batch
@@ -313,25 +327,32 @@ class ShardedSystem {
     /// Coordinator-only: parks a join that becomes visible at `visible_ms`.
     void enqueue(std::uint32_t visible_ms, std::uint32_t peer);
     /// Coordinator-only, at window start: publishes every parked join
-    /// visible at or before `through` into the flushed prefix.
+    /// visible at or before `through` into the flushed prefix. O(1) when
+    /// nothing is due — the cached minimum visibility tick short-circuits
+    /// the call — and O(joins due) otherwise, never O(population).
     void flush_due(util::SimTime through);
     /// Shard-local: entries visible at or before `at` (monotone per shard).
     std::size_t visible_count(int shard, util::SimTime at);
     [[nodiscard]] core::PeerId peer_at(std::size_t index) const {
       return core::PeerId{peers_[index]};
     }
+    /// Number of non-trivial flushes (slow-path publications). The gap
+    /// between this and the window count is the O(1) fast path's win —
+    /// the `directory_flushes` mechanics counter.
+    [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
 
    private:
-    struct Later {
-      bool operator()(const Join& a, const Join& b) const {
-        if (a.visible_ms != b.visible_ms) return a.visible_ms > b.visible_ms;
-        return a.peer > b.peer;
-      }
-    };
+    static constexpr std::uint32_t kNeverVisible = 0xFFFFFFFFu;
     // Flushed prefix, sorted by (visible, peer), append-only, SoA.
     std::vector<std::uint32_t> peers_;
     std::vector<std::uint32_t> visible_ms_;
-    std::vector<Join> pending_heap_;  ///< std::push_heap with Later
+    /// Parked joins, unsorted — sorted wholesale on the flush slow path
+    /// (conservative lookahead means the whole set is due by then anyway).
+    std::vector<Join> pending_;
+    /// Minimum visibility tick over `pending_` (kNeverVisible when empty):
+    /// the flush fast path is one compare against this.
+    std::uint32_t next_visible_ = kNeverVisible;
+    std::uint64_t flushes_ = 0;
     std::vector<std::size_t> cursors_;
   };
 

@@ -32,6 +32,15 @@ constexpr MechanicsField kSchema[] = {
     {"windows_idle_skipped",
      "sharded lookahead windows whose start jumped an idle gap instead of "
      "barriering through it"},
+    {"windows_fused",
+     "unit lookahead sub-windows absorbed into a prior runner dispatch by "
+     "window fusion (docs/sharding.md, Adaptive lookahead)"},
+    {"directory_flushes",
+     "directory slow-path publications — windows where joins were actually "
+     "due; every other window takes the O(1) nothing-due fast path"},
+    {"lookahead_avg_ms",
+     "mean simulated span covered per unit sub-window, ms (idle skips "
+     "included, so sparse phases push this above the lookahead)"},
 };
 
 /// No key may be a prefix of a later key — the longest-match-first scan in

@@ -52,6 +52,30 @@ class PhaseProfiler {
     phase_ns_[static_cast<std::size_t>(phase)] += ns;
   }
 
+  /// Coordinator-only: one runner dispatch covering `sub_windows` unit
+  /// lookahead windows (>= 1). Splits the window population into unit
+  /// dispatches (no fusion happened) and fused dispatches — the
+  /// fused-vs-unit breakdown the telemetry phases record reports.
+  void record_dispatch(int sub_windows) {
+    if (sub_windows > 1) {
+      ++fused_dispatches_;
+      fused_sub_windows_ += static_cast<std::uint64_t>(sub_windows);
+    } else {
+      ++unit_dispatches_;
+    }
+  }
+  [[nodiscard]] std::uint64_t unit_dispatches() const {
+    return unit_dispatches_;
+  }
+  [[nodiscard]] std::uint64_t fused_dispatches() const {
+    return fused_dispatches_;
+  }
+  /// Unit sub-windows absorbed by the fused dispatches (each counts all
+  /// of its sub-windows, including the first).
+  [[nodiscard]] std::uint64_t fused_sub_windows() const {
+    return fused_sub_windows_;
+  }
+
   [[nodiscard]] int num_shards() const {
     return static_cast<int>(shard_step_.size());
   }
@@ -72,6 +96,9 @@ class PhaseProfiler {
   };
   std::vector<Cell> shard_step_;
   std::array<std::uint64_t, kNumPhases> phase_ns_{};
+  std::uint64_t unit_dispatches_ = 0;
+  std::uint64_t fused_dispatches_ = 0;
+  std::uint64_t fused_sub_windows_ = 0;
 };
 
 /// RAII interval: adds the elapsed time to a profiler phase (or a shard's

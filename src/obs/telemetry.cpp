@@ -109,6 +109,12 @@ scenario::Json phases_json(const PhaseProfiler& profiler) {
   phases.set("barrier_ms", phase_ms(Phase::kBarrier));
   phases.set("merge_ms", phase_ms(Phase::kMerge));
   phases.set("imbalance", profiler.imbalance());
+  // Fused-vs-unit dispatch breakdown (sim/shard_runner.hpp window fusion):
+  // how many runner dispatches covered exactly one unit sub-window vs
+  // several, and how many sub-windows the fused dispatches absorbed.
+  phases.set("unit_windows", profiler.unit_dispatches());
+  phases.set("fused_windows", profiler.fused_dispatches());
+  phases.set("fused_sub_windows", profiler.fused_sub_windows());
   return phases;
 }
 

@@ -11,6 +11,8 @@
 //            [--policy NAME]             supplier-selection policy
 //            [--shards N]                shard count for sharded_* scenarios
 //            [--shard-threads N]         sharded worker threads (wall-clock only)
+//            [--fusion N]                sharded window-fusion factor
+//                                        (1 = unfused unit-lookahead mode)
 //            [--mechanics]               emit run mechanics (per-shard event
 //                                        counts, windows, peak RSS)
 //            [--telemetry FILE]          periodic JSONL runtime snapshots
@@ -83,7 +85,7 @@ int usage(const std::string& program) {
                " [--timers wheel|lazy|events]"
                " [--latency fixed|uniform|twoclass|lognormal] [--loss P]"
                " [--transport batched|unbatched] [--policy NAME]"
-               " [--shards N] [--shard-threads N] [--mechanics]"
+               " [--shards N] [--shard-threads N] [--fusion N] [--mechanics]"
                " [--telemetry FILE] [--telemetry-interval MS]"
                " [--watchdog warn|abort|off]"
                " [--out FILE] [--compact]\n"
@@ -445,6 +447,12 @@ int main(int argc, char** argv) {
         const auto value = parse_positive_int("shard-threads", shard_threads);
         if (!value) return 2;
         options.shard_threads = *value;
+      }
+      const std::string fusion = flags.get_string("fusion", "");
+      if (!fusion.empty()) {
+        const auto value = parse_positive_int("fusion", fusion);
+        if (!value) return 2;
+        options.fusion = *value;
       }
       options.mechanics = bool_flag("mechanics");
 

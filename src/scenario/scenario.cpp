@@ -162,7 +162,17 @@ std::string strip_event_mechanics(std::string json_text) {
       ++pos;
       ++digits;
     }
-    // Only replace an actual integer value; anything else passes through.
+    // A fractional part marks a floating-point counter (lookahead_avg_ms):
+    // swallow it with the integer part so the whole number normalizes.
+    if (digits > 0 && pos + 1 < json_text.size() && json_text[pos] == '.' &&
+        std::isdigit(static_cast<unsigned char>(json_text[pos + 1]))) {
+      ++pos;
+      while (pos < json_text.size() &&
+             std::isdigit(static_cast<unsigned char>(json_text[pos]))) {
+        ++pos;
+      }
+    }
+    // Only replace an actual numeric value; anything else passes through.
     out.append(digits > 0 ? "0" : "");
   }
   return out;

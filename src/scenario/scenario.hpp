@@ -68,6 +68,13 @@ struct ScenarioOptions {
   /// Worker threads for sharded scenarios (--shard-threads); wall-clock
   /// only, byte-invisible like the shard count.
   int shard_threads = 1;
+  /// Window-fusion factor for sharded scenarios (--fusion); unset = the
+  /// engine default (ShardedConfig::fusion). 1 is the unfused unit-
+  /// lookahead reference mode. Byte-invisible like the shard count: the
+  /// executed sub-window sequence is identical for every value
+  /// (docs/sharding.md, Adaptive lookahead), so the value never appears
+  /// outside --mechanics.
+  std::optional<int> fusion;
   /// Emit run-mechanics diagnostics (--mechanics): per-shard event counts,
   /// peak event lists, window/exchange counters, peak RSS. Off by default
   /// because these are partition- and machine-dependent — with the flag

@@ -36,6 +36,7 @@ engine::ShardedConfig sharded_config(const ScenarioOptions& options,
   config.event_list = options.event_list;
   config.shards = options.shards.value_or(default_shards);
   config.threads = options.shard_threads;
+  config.fusion = options.fusion.value_or(config.fusion);
   config.latency = net::LatencyModel::of(options.latency.value_or(default_latency));
   config.loss = options.loss.value_or(0.0);
   if (options.policy != nullptr) config.selection_policy = options.policy;
@@ -120,8 +121,12 @@ Json sharded_result_to_json(const ScenarioOptions& options,
     Json mechanics = Json::object();
     mechanics.set("shards", config.shards);
     mechanics.set("threads", config.threads);
+    mechanics.set("fusion", config.fusion);
     mechanics.set("windows", result.windows);
+    mechanics.set("windows_fused", result.windows_fused);
     mechanics.set("windows_idle_skipped", result.windows_idle_skipped);
+    mechanics.set("lookahead_avg_ms", result.lookahead_avg_ms);
+    mechanics.set("directory_flushes", result.directory_flushes);
     mechanics.set("cross_shard_messages", result.cross_shard_messages);
     mechanics.set("peak_rss_bytes", result.peak_rss_bytes);
     // The memory campaign's headline number: whole-process peak RSS over

@@ -68,61 +68,83 @@ std::vector<SweepPoint> SweepSpec::points() const {
   return out;
 }
 
-Json run_sweep_points(const std::vector<SweepPoint>& points, int threads) {
+namespace {
+
+Json run_one_point(const SweepPoint& point) {
+  ScenarioOptions options;
+  options.seed = point.seed;
+  options.scale = point.scale;
+  options.event_list = point.event_list;
+  options.latency = point.latency;
+  options.loss = point.loss;
+  options.policy = point.policy;
+  options.timers = point.timers;
+  return run_scenario(point.scenario, options);
+}
+
+}  // namespace
+
+Json run_sweep_points(const std::vector<SweepPoint>& points, int threads,
+                      SweepStats* stats) {
   P2PS_REQUIRE_MSG(threads >= 1, "sweep needs at least one thread");
   P2PS_REQUIRE_MSG(!points.empty(), "sweep has no points");
   register_all_scenarios();  // once, before any worker touches the registry
+  if (stats != nullptr) *stats = SweepStats{};
 
   std::vector<Json> runs(points.size());
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex failure_mutex;
   std::exception_ptr first_failure;
-  std::size_t first_failure_index = points.size();
-
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      // Fail fast: points already in flight finish, queued ones are
-      // skipped — an early failure doesn't cost the rest of the study.
-      if (index >= points.size() || failed.load(std::memory_order_relaxed)) {
-        return;
-      }
-      const SweepPoint& point = points[index];
-      try {
-        ScenarioOptions options;
-        options.seed = point.seed;
-        options.scale = point.scale;
-        options.event_list = point.event_list;
-        options.latency = point.latency;
-        options.loss = point.loss;
-        options.policy = point.policy;
-        options.timers = point.timers;
-        runs[index] = run_scenario(point.scenario, options);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        // Lowest point index wins, so the surfaced error is deterministic
-        // even when several points fail concurrently.
-        if (index < first_failure_index) {
-          first_failure_index = index;
-          first_failure = std::current_exception();
-        }
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
 
   const auto pool_size = static_cast<std::size_t>(threads) < points.size()
                              ? static_cast<std::size_t>(threads)
                              : points.size();
   if (pool_size == 1) {
-    worker();  // serial: no pool, same code path as each worker thread
+    // Serial path: a plain indexed loop on the calling thread — no pool,
+    // no atomic work queue, no mutex. The first failure ends the loop
+    // (which is the lowest failing index by construction), matching the
+    // parallel path's lowest-index-wins semantics.
+    for (std::size_t index = 0; index < points.size(); ++index) {
+      try {
+        runs[index] = run_one_point(points[index]);
+      } catch (...) {
+        first_failure = std::current_exception();
+        break;
+      }
+    }
   } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex failure_mutex;
+    std::size_t first_failure_index = points.size();
+
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+        // Fail fast: points already in flight finish, queued ones are
+        // skipped — an early failure doesn't cost the rest of the study.
+        if (index >= points.size() || failed.load(std::memory_order_relaxed)) {
+          return;
+        }
+        try {
+          runs[index] = run_one_point(points[index]);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(failure_mutex);
+          // Lowest point index wins, so the surfaced error is deterministic
+          // even when several points fail concurrently.
+          if (index < first_failure_index) {
+            first_failure_index = index;
+            first_failure = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+
     std::vector<std::thread> pool;
     pool.reserve(pool_size);
     for (std::size_t i = 0; i < pool_size; ++i) pool.emplace_back(worker);
     for (auto& thread : pool) thread.join();
+    if (stats != nullptr) stats->pool_threads = pool_size;
   }
   if (first_failure) std::rethrow_exception(first_failure);
 

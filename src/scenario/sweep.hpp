@@ -68,13 +68,28 @@ struct SweepSpec {
   [[nodiscard]] std::vector<SweepPoint> points() const;
 };
 
+/// Execution mechanics of one run_sweep_points call — never part of the
+/// report (the report deliberately omits anything thread-shaped). Exists
+/// so tests can pin the dispatch strategy: an effective thread count of 1
+/// must take the serial path — a plain indexed loop with no worker pool
+/// and no atomic work queue (tests/sweep_test.cpp).
+struct SweepStats {
+  /// Worker threads constructed; 0 on the serial path (the caller's
+  /// thread is not a pool).
+  std::size_t pool_threads = 0;
+};
+
 /// Runs every point on a pool of `threads` worker threads (clamped to the
-/// point count; 1 = serial) and merges the per-point envelopes into one
-/// report in point order. Throws ContractViolation for invalid specs and
-/// rethrows the first per-point failure after the pool has drained.
+/// point count; an effective count of 1 runs serially on the calling
+/// thread, constructing no pool and no work queue) and merges the
+/// per-point envelopes into one report in point order. Throws
+/// ContractViolation for invalid specs and rethrows the first per-point
+/// failure — lowest point index wins — after the pool has drained.
+/// `stats`, when non-null, receives the dispatch mechanics.
 [[nodiscard]] Json run_sweep(const SweepSpec& spec, int threads);
 [[nodiscard]] Json run_sweep_points(const std::vector<SweepPoint>& points,
-                                    int threads);
+                                    int threads,
+                                    SweepStats* stats = nullptr);
 
 /// Splits "a,b,c" into its non-empty fields; used by the CLI axis flags.
 [[nodiscard]] std::vector<std::string> split_csv(std::string_view text);

@@ -11,13 +11,16 @@
 
 namespace p2ps::sim {
 
-ShardRunner::ShardRunner(int num_shards, util::SimTime lookahead, int threads)
+ShardRunner::ShardRunner(int num_shards, util::SimTime lookahead, int threads,
+                         int fusion)
     : num_shards_(num_shards),
       lookahead_(lookahead),
-      threads_(std::clamp(threads, 1, num_shards)) {
+      threads_(std::clamp(threads, 1, num_shards)),
+      fusion_(fusion) {
   P2PS_REQUIRE_MSG(num_shards_ >= 1, "ShardRunner needs at least one shard");
   P2PS_REQUIRE_MSG(lookahead_ >= util::SimTime::millis(1),
                    "conservative lookahead must be at least one tick");
+  P2PS_REQUIRE_MSG(fusion_ >= 1, "window fusion factor must be at least 1");
 }
 
 namespace {
@@ -127,30 +130,58 @@ void ShardRunner::run(util::SimTime horizon, const Callbacks& callbacks) {
       }
     }
     timed.at_barrier(t1);
-    ++windows_;
   };
 
-  util::SimTime prev_end = util::SimTime::zero();
-  for (;;) {
+  const auto min_next_event = [&] {
     std::optional<util::SimTime> min_next;
     for (int shard = 0; shard < num_shards_; ++shard) {
       const auto next = callbacks.next_event_time(shard);
       if (next && (!min_next || *next < *min_next)) min_next = next;
     }
-    if (min_next && *min_next > prev_end + util::SimTime::millis(1)) {
-      ++idle_skips_;  // the window start jumped an idle gap
+    return min_next;
+  };
+
+  // Closes one dispatch covering `subs` unit sub-windows: one windows_
+  // tick, the rest counted as fused. The executed sub-window sequence is
+  // independent of where the dispatch boundaries fall (header comment in
+  // shard_runner.hpp), so these are pure accounting.
+  const auto finish_dispatch = [&](std::int64_t subs) {
+    ++windows_;
+    windows_fused_ += subs - 1;
+    if (profiler != nullptr) {
+      profiler->record_dispatch(static_cast<int>(subs));
     }
-    if (!min_next || *min_next > horizon) {
-      // Nothing (left) inside the horizon: one final window parks every
-      // shard's clock exactly at the horizon for the end-of-run reads.
-      run_window(horizon);
-      return;
+  };
+
+  util::SimTime prev_end = util::SimTime::zero();
+  for (;;) {
+    std::int64_t subs = 0;  // unit sub-windows executed in this dispatch
+    for (;;) {
+      const auto min_next = min_next_event();
+      if (min_next && *min_next > prev_end + util::SimTime::millis(1)) {
+        ++idle_skips_;  // the window start jumped an idle gap
+      }
+      if (!min_next || *min_next > horizon) {
+        // Nothing (left) inside the horizon: one final window parks every
+        // shard's clock exactly at the horizon for the end-of-run reads.
+        run_window(horizon);
+        span_ms_sum_ += (horizon - prev_end).as_millis();
+        finish_dispatch(subs + 1);
+        return;
+      }
+      const util::SimTime t1 =
+          std::min(*min_next + lookahead_ - util::SimTime::millis(1), horizon);
+      run_window(t1);
+      span_ms_sum_ += (t1 - prev_end).as_millis();
+      ++subs;
+      if (t1 >= horizon) {
+        finish_dispatch(subs);
+        return;
+      }
+      prev_end = t1;
+      if (subs >= fusion_) break;
     }
-    const util::SimTime t1 =
-        std::min(*min_next + lookahead_ - util::SimTime::millis(1), horizon);
-    run_window(t1);
-    if (t1 >= horizon) return;
-    prev_end = t1;
+    finish_dispatch(subs);
   }
 }
 

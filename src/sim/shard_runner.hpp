@@ -19,6 +19,21 @@
 // Idle windows are skipped entirely (min_next jumps the window forward),
 // so sparse phases cost one barrier per event cluster, not one per tick.
 //
+// Window fusion (`fusion > 1`): up to `fusion` consecutive unit windows
+// execute inside one dispatch of the runner's outer loop. Each sub-window
+// still recomputes min_next, applies the idle skip, and passes through
+// at_window_start / run_to / at_barrier exactly as an unfused window
+// would — the executed sub-window sequence is IDENTICAL for every fusion
+// factor, so payloads are byte-identical by construction and only the
+// dispatch accounting (windows() vs windows_fused()) changes. What fusion
+// buys is the per-dispatch fixed cost: one outer-loop iteration, one
+// profiler dispatch record, and (on a worker pool) fewer full wake/park
+// cycles per unit of simulated time. docs/sharding.md, "Adaptive
+// lookahead", carries the safety argument: any window of width <=
+// lookahead is safe regardless of alignment, and after each barrier the
+// global state is consistent, so re-deriving the next sub-window end from
+// fresh next-event times is exactly the unfused computation.
+//
 // Threading: `threads == 1` runs shards round-robin on the caller's
 // thread; `threads > 1` parks a persistent worker pool on a std::barrier
 // and hands each worker a fixed stripe of shards. Either way the schedule
@@ -68,15 +83,40 @@ class ShardRunner {
   };
 
   /// `lookahead` must be >= 1 ms (the tick granularity); `threads` is
-  /// clamped to [1, num_shards].
-  ShardRunner(int num_shards, util::SimTime lookahead, int threads = 1);
+  /// clamped to [1, num_shards]; `fusion` >= 1 is the maximum number of
+  /// unit sub-windows executed per dispatch (1 = classic unfused runner).
+  ShardRunner(int num_shards, util::SimTime lookahead, int threads = 1,
+              int fusion = 1);
 
   /// Steps every shard to `horizon` (inclusive, run_until semantics),
   /// calling at_barrier after each window. May be called once.
   void run(util::SimTime horizon, const Callbacks& callbacks);
 
-  /// Windows executed (= barriers passed) by run().
+  /// Dispatches executed by run() — outer-loop iterations, each covering
+  /// 1..fusion unit sub-windows. With fusion == 1 this equals the number
+  /// of barriers passed (the classic window count).
   [[nodiscard]] std::int64_t windows() const { return windows_; }
+
+  /// Unit sub-windows absorbed into a prior dispatch beyond its first —
+  /// i.e. sub_windows() - windows(). Zero when fusion == 1.
+  [[nodiscard]] std::int64_t windows_fused() const { return windows_fused_; }
+
+  /// Total unit sub-windows executed (= barriers passed), independent of
+  /// the fusion factor — the invariant "how many times did every shard
+  /// sync" count that byte-parity across fusion modes rests on.
+  [[nodiscard]] std::int64_t sub_windows() const {
+    return windows_ + windows_fused_;
+  }
+
+  /// Mean simulated span covered per sub-window, in ms (idle skips
+  /// included, so sparse phases push this well above the lookahead).
+  /// 0 before run().
+  [[nodiscard]] double lookahead_avg_ms() const {
+    const std::int64_t subs = sub_windows();
+    return subs > 0 ? static_cast<double>(span_ms_sum_) /
+                          static_cast<double>(subs)
+                    : 0.0;
+  }
 
   /// Windows whose start jumped past idle time: the earliest pending event
   /// lay strictly beyond the previous window's end, so the runner skipped
@@ -88,7 +128,10 @@ class ShardRunner {
   int num_shards_;
   util::SimTime lookahead_;
   int threads_;
+  int fusion_;
   std::int64_t windows_ = 0;
+  std::int64_t windows_fused_ = 0;
+  std::int64_t span_ms_sum_ = 0;
   std::int64_t idle_skips_ = 0;
   bool ran_ = false;
 };

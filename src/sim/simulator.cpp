@@ -33,7 +33,16 @@ EventId Simulator::schedule_impl(util::SimTime t, Callback cb, bool timer) {
   slot.cb = std::move(cb);
   slot.timer = timer;
   const EventId id = pack(index, slot.generation);
-  queue_->push(CalendarEntry{t, next_seq_++, id.value()});
+  const CalendarEntry entry{t, next_seq_++, id.value()};
+  if (staged_ && entry < *staged_) {
+    // Keep the staging invariant (staged_ <= everything queued): the new
+    // entry undercuts the staged minimum, so they swap places. Ties stay
+    // with the staged entry — its seq is older, preserving FIFO order.
+    queue_->push(*staged_);
+    *staged_ = entry;
+  } else {
+    queue_->push(entry);
+  }
   ++live_;
   if (timer) ++live_timers_;
   if (live_ > peak_live_) {
@@ -75,15 +84,32 @@ bool Simulator::pending(EventId id) const {
          static_cast<bool>(slots_[index].cb);
 }
 
-std::optional<CalendarEntry> Simulator::pop_live() {
+const CalendarEntry* Simulator::peek_live() {
+  if (staged_) {
+    const EventId id{staged_->payload};
+    const Slot& slot = slots_[slot_of(id)];
+    if (slot.generation == generation_of(id) && slot.cb) return &*staged_;
+    staged_.reset();  // cancelled while staged: drop and rescan the queue
+  }
   for (;;) {
     const auto entry = queue_->pop();
-    if (!entry) return std::nullopt;
+    if (!entry) return nullptr;
     const EventId id{entry->payload};
     const Slot& slot = slots_[slot_of(id)];
-    if (slot.generation == generation_of(id) && slot.cb) return entry;
+    if (slot.generation == generation_of(id) && slot.cb) {
+      staged_ = *entry;
+      return &*staged_;
+    }
     // Cancelled (or cleared) residue: drop and keep skimming.
   }
+}
+
+std::optional<CalendarEntry> Simulator::pop_live() {
+  const CalendarEntry* entry = peek_live();
+  if (entry == nullptr) return std::nullopt;
+  const CalendarEntry result = *entry;
+  staged_.reset();
+  return result;
 }
 
 void Simulator::execute(const CalendarEntry& entry) {
@@ -117,15 +143,14 @@ std::size_t Simulator::run_until(util::SimTime t) {
   P2PS_REQUIRE(t >= now_);
   std::size_t executed = 0;
   for (;;) {
-    const auto entry = pop_live();
-    if (!entry) break;
-    if (entry->time > t) {
-      // Beyond the horizon: reinsert unchanged (the original seq keeps its
-      // FIFO position) and stop.
-      queue_->push(*entry);
-      break;
-    }
-    execute(*entry);
+    const CalendarEntry* entry = peek_live();
+    // A beyond-horizon entry simply stays staged — no reinsertion, and the
+    // next peek (this window's next_event_time probe, or the next window's
+    // run_until) finds it for free.
+    if (entry == nullptr || entry->time > t) break;
+    const CalendarEntry current = *entry;
+    staged_.reset();
+    execute(current);
     ++executed;
   }
   now_ = t;
@@ -133,11 +158,8 @@ std::size_t Simulator::run_until(util::SimTime t) {
 }
 
 std::optional<util::SimTime> Simulator::next_event_time() {
-  const auto entry = pop_live();
-  if (!entry) return std::nullopt;
-  // Reinsert unchanged: the original seq restores the entry's FIFO position
-  // among same-time events on both backends (ordering is (time, seq)).
-  queue_->push(*entry);
+  const CalendarEntry* entry = peek_live();
+  if (entry == nullptr) return std::nullopt;
   return entry->time;
 }
 
@@ -150,6 +172,7 @@ void Simulator::clear() {
   }
   live_ = 0;
   live_timers_ = 0;
+  staged_.reset();
   queue_->clear();
 }
 

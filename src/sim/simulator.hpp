@@ -101,10 +101,11 @@ class Simulator {
 
   /// Time of the earliest live (non-cancelled) pending event, or nullopt
   /// when none remain. Exact on both backends: cancelled residue is popped
-  /// and discarded until a live entry surfaces, which is then reinserted
-  /// unchanged — its original seq keeps its FIFO position among same-time
-  /// peers. This is the conservative-lookahead probe the shard runner uses
-  /// to pick the next window start (sim/shard_runner.hpp).
+  /// and discarded until a live entry surfaces, which is then *staged* in a
+  /// one-entry buffer in front of the backend — not pushed back — so the
+  /// conservative-lookahead probe the shard runner issues once per shard
+  /// per window (sim/shard_runner.hpp) costs zero backend operations when
+  /// repeated, and run_until's beyond-horizon stop costs no re-push.
   [[nodiscard]] std::optional<util::SimTime> next_event_time();
 
   /// Total events executed over the simulator's lifetime.
@@ -140,6 +141,13 @@ class Simulator {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
 
+  /// Returns the least live entry without consuming it, staging it in
+  /// `staged_` (skipping cancelled residue); nullptr when exhausted. The
+  /// staging invariant: whenever `staged_` is engaged it compares <= every
+  /// entry in `queue_`, so the staged entry IS the queue minimum and
+  /// repeated peeks are backend-free.
+  const CalendarEntry* peek_live();
+
   /// Pops entries until a live one surfaces (skipping cancelled residue);
   /// nullopt when the queue is exhausted.
   std::optional<CalendarEntry> pop_live();
@@ -158,6 +166,11 @@ class Simulator {
   std::size_t peak_live_timers_ = 0;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
+  /// One-entry stage in front of the backend (see peek_live). Lets the
+  /// shard runner's per-window next_event_time probe and run_until's
+  /// beyond-horizon stop avoid the pop-then-push round trip that used to
+  /// dominate window mechanics at hundreds of thousands of windows.
+  std::optional<CalendarEntry> staged_;
   std::unique_ptr<EventList> queue_;
 };
 

@@ -9,8 +9,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "engine/sharded_system.hpp"
@@ -160,6 +162,20 @@ TEST(ScopedPhase, NullProfilerIsANoOpAndLiveProfilerAccumulates) {
   EXPECT_GE(profiler.phase_ns(obs::Phase::kMerge), 0u);
   EXPECT_EQ(profiler.shard_step_ns(0), 0u);
   EXPECT_GE(profiler.shard_step_ns(1), 0u);
+}
+
+TEST(PhaseProfiler, DispatchCountersSplitUnitFromFusedWindows) {
+  obs::PhaseProfiler profiler(2);
+  EXPECT_EQ(profiler.unit_dispatches(), 0u);
+  EXPECT_EQ(profiler.fused_dispatches(), 0u);
+  EXPECT_EQ(profiler.fused_sub_windows(), 0u);
+  profiler.record_dispatch(1);  // a unit window
+  profiler.record_dispatch(1);
+  profiler.record_dispatch(4);  // one fused dispatch absorbing 4 sub-windows
+  profiler.record_dispatch(8);
+  EXPECT_EQ(profiler.unit_dispatches(), 2u);
+  EXPECT_EQ(profiler.fused_dispatches(), 2u);
+  EXPECT_EQ(profiler.fused_sub_windows(), 12u);
 }
 
 // ---------- Watchdog ----------
@@ -350,6 +366,12 @@ TEST(Telemetry, SnapshotCarriesPhaseTimingsWhenAProfilerIsAttached) {
   EXPECT_NE(lines[0].find("\"phases\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"imbalance\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"phases\""), std::string::npos);
+  // The fused-vs-unit dispatch breakdown rides every phases object.
+  for (const char* key :
+       {"\"unit_windows\"", "\"fused_windows\"", "\"fused_sub_windows\""}) {
+    EXPECT_NE(lines[0].find(key), std::string::npos) << key;
+    EXPECT_NE(lines[1].find(key), std::string::npos) << key;
+  }
 }
 
 TEST(Telemetry, WarnActionRecordsTripsInTheSnapshotRecord) {
@@ -612,8 +634,14 @@ TEST(RunScenario, ShardedScenarioStaysPartitionInvariantUnderTelemetry) {
   bare.scale = 500;
   const std::string reference =
       scenario::run_scenario("msg_fig5_sharded", bare).dump();
-  for (const auto& [shards, threads] :
-       std::vector<std::pair<int, int>>{{1, 1}, {4, 2}}) {
+  // The fusion axis rides along: unfused, default, and deep fusion must
+  // all match the bare un-instrumented reference byte for byte.
+  for (const auto& [shards, threads, fusion] :
+       std::vector<std::tuple<int, int, std::optional<int>>>{
+           {1, 1, std::nullopt},
+           {4, 2, std::nullopt},
+           {4, 1, std::optional<int>{1}},
+           {4, 2, std::optional<int>{32}}}) {
     obs::TelemetryOptions telemetry_options;
     telemetry_options.path = temp_path("obs_scenario_shards.jsonl");
     telemetry_options.interval_ms = 0;
@@ -623,9 +651,11 @@ TEST(RunScenario, ShardedScenarioStaysPartitionInvariantUnderTelemetry) {
     instrumented.telemetry = &telemetry;
     instrumented.shards = shards;
     instrumented.shard_threads = threads;
+    instrumented.fusion = fusion;
     EXPECT_EQ(scenario::run_scenario("msg_fig5_sharded", instrumented).dump(),
               reference)
-        << shards << " shards, " << threads << " threads";
+        << shards << " shards, " << threads << " threads, fusion "
+        << (fusion ? *fusion : -1);
   }
 }
 

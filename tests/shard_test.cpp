@@ -222,27 +222,39 @@ TEST(RetryHeap, DropsRetriesDueBeyondTheHorizon) {
 
 using IntRouter = net::ShardRouter<int>;
 
+/// The router's Handler is a raw (context, envelope) function pointer; this
+/// adapter lets tests keep using capturing lambdas. The std::function must
+/// outlive every delivery.
+using TestHandler = std::function<void(const IntRouter::Envelope&)>;
+void bind_fn(IntRouter& router, int shard, sim::Simulator& simulator,
+             TestHandler* handler) {
+  router.bind(shard, simulator, handler,
+              [](void* context, const IntRouter::Envelope& envelope) {
+                (*static_cast<TestHandler*>(context))(envelope);
+              });
+}
+
 TEST(ShardRouter, RejectsSendsBelowTheLookaheadWindow) {
   sim::Simulator simulator;
   IntRouter router(2, SimTime::millis(10));
-  router.bind(0, simulator, [](const IntRouter::Envelope&) {});
+  router.bind(0, simulator, nullptr, [](void*, const IntRouter::Envelope&) {});
   IntRouter::Envelope envelope;
-  envelope.from = PeerId{0};
-  envelope.to = PeerId{1};
-  envelope.sent_at = SimTime::zero();
-  envelope.deliver_at = SimTime::millis(9);  // one tick under the window
+  envelope.from = 0;
+  envelope.to = 1;
+  envelope.sent_at = 0;
+  envelope.deliver_at = 9;  // one tick under the window
   EXPECT_THROW(router.send(0, std::move(envelope)), util::ContractViolation);
 }
 
 TEST(ShardRouter, RejectsSendsFromAShardThatDoesNotOwnTheSender) {
   sim::Simulator simulator;
   IntRouter router(2, SimTime::millis(10));
-  router.bind(0, simulator, [](const IntRouter::Envelope&) {});
+  router.bind(0, simulator, nullptr, [](void*, const IntRouter::Envelope&) {});
   IntRouter::Envelope envelope;
-  envelope.from = PeerId{1};  // peer 1 lives on shard 1
-  envelope.to = PeerId{0};
-  envelope.sent_at = SimTime::zero();
-  envelope.deliver_at = SimTime::millis(10);
+  envelope.from = 1;  // peer 1 lives on shard 1
+  envelope.to = 0;
+  envelope.sent_at = 0;
+  envelope.deliver_at = 10;
   EXPECT_THROW(router.send(0, std::move(envelope)), util::ContractViolation);
 }
 
@@ -275,17 +287,18 @@ TEST(ShardRouter, SameTickDeliveriesDrainInCanonicalOrderNotArrivalOrder) {
   simulators.push_back(std::make_unique<sim::Simulator>());
   IntRouter router(2, SimTime::millis(10));
   std::vector<std::pair<std::int64_t, std::uint64_t>> deliveries;  // (tick, from)
-  router.bind(0, *simulators[0], [&](const IntRouter::Envelope& envelope) {
-    deliveries.emplace_back(simulators[0]->now().as_millis(),
-                            envelope.from.value());
-  });
-  router.bind(1, *simulators[1], [](const IntRouter::Envelope&) {});
+  TestHandler log_deliveries = [&](const IntRouter::Envelope& envelope) {
+    deliveries.emplace_back(simulators[0]->now().as_millis(), envelope.from);
+  };
+  bind_fn(router, 0, *simulators[0], &log_deliveries);
+  router.bind(1, *simulators[1], nullptr, [](void*, const IntRouter::Envelope&) {});
   const auto send = [&](int shard, std::uint64_t from) {
     IntRouter::Envelope envelope;
-    envelope.from = PeerId{from};
-    envelope.to = PeerId{0};
-    envelope.sent_at = simulators[static_cast<std::size_t>(shard)]->now();
-    envelope.deliver_at = envelope.sent_at + SimTime::millis(10);
+    envelope.from = static_cast<std::uint32_t>(from);
+    envelope.to = 0;
+    envelope.sent_at = static_cast<std::uint32_t>(
+        simulators[static_cast<std::size_t>(shard)]->now().as_millis());
+    envelope.deliver_at = envelope.sent_at + 10;
     router.send(shard, std::move(envelope));
   };
   // Shard 0's peer 4 sends locally, shard 1's peer 1 cross-shard, both at
@@ -327,27 +340,29 @@ std::array<std::vector<Delivery>, kCascadePeers> run_cascade(int num_shards) {
     const std::uint64_t seq = send_seq[from]++;
     const std::uint64_t hash = mix(from * 1'000'003 + seq);
     IntRouter::Envelope envelope;
-    envelope.from = PeerId{from};
-    envelope.to = PeerId{hash % kCascadePeers};
-    envelope.sent_at = simulators[static_cast<std::size_t>(shard)]->now();
+    envelope.from = static_cast<std::uint32_t>(from);
+    envelope.to = static_cast<std::uint32_t>(hash % kCascadePeers);
+    envelope.sent_at = static_cast<std::uint32_t>(
+        simulators[static_cast<std::size_t>(shard)]->now().as_millis());
     envelope.deliver_at =
         envelope.sent_at +
-        SimTime::millis(kCascadeWindowMs +
-                        static_cast<std::int64_t>((hash >> 8) % 20));
-    envelope.seq = seq;
+        static_cast<std::uint32_t>(kCascadeWindowMs +
+                                   static_cast<std::int64_t>((hash >> 8) % 20));
+    envelope.seq = static_cast<std::uint32_t>(seq);
     envelope.payload = hops;
     router.send(shard, std::move(envelope));
   };
+  std::vector<TestHandler> handlers(static_cast<std::size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
-    router.bind(s, *simulators[s],
-                [&, s](const IntRouter::Envelope& envelope) {
-                  const std::uint64_t to = envelope.to.value();
-                  logs[to].emplace_back(
-                      simulators[static_cast<std::size_t>(s)]->now().as_millis(),
-                      envelope.from.value(), envelope.sent_at.as_millis(),
-                      envelope.seq, envelope.payload);
-                  if (envelope.payload > 0) send_from(s, to, envelope.payload - 1);
-                });
+    handlers[static_cast<std::size_t>(s)] =
+        [&, s](const IntRouter::Envelope& envelope) {
+          const std::uint64_t to = envelope.to;
+          logs[to].emplace_back(
+              simulators[static_cast<std::size_t>(s)]->now().as_millis(),
+              envelope.from, envelope.sent_at, envelope.seq, envelope.payload);
+          if (envelope.payload > 0) send_from(s, to, envelope.payload - 1);
+        };
+    bind_fn(router, s, *simulators[s], &handlers[static_cast<std::size_t>(s)]);
   }
   // Initial bursts fire at ticks 1..3 — strictly before the earliest
   // possible delivery (1 + window), so pre-scheduled sends never race a
@@ -385,13 +400,16 @@ TEST(ShardRouter, TickRingGrowsToSpanLiveTicksAndRecyclesGroups) {
   sim::Simulator simulator;
   IntRouter router(1, SimTime::millis(10));
   int delivered = 0;
-  router.bind(0, simulator, [&](const IntRouter::Envelope&) { ++delivered; });
+  router.bind(0, simulator, &delivered,
+              [](void* context, const IntRouter::Envelope&) {
+                ++*static_cast<int*>(context);
+              });
   const auto send_at = [&](std::int64_t deliver_ms) {
     IntRouter::Envelope envelope;
-    envelope.from = PeerId{0};
-    envelope.to = PeerId{0};
-    envelope.sent_at = simulator.now();
-    envelope.deliver_at = SimTime::millis(deliver_ms);
+    envelope.from = 0;
+    envelope.to = 0;
+    envelope.sent_at = static_cast<std::uint32_t>(simulator.now().as_millis());
+    envelope.deliver_at = static_cast<std::uint32_t>(deliver_ms);
     router.send(0, std::move(envelope));
   };
   EXPECT_EQ(router.ring_slots(0), 64u);
@@ -435,6 +453,92 @@ TEST(ShardRunner, SkipsIdleStretchesBetweenEventClusters) {
   EXPECT_LE(runner.windows(), 3);
   // Both clusters sat past the previous window's end, and the stat says so.
   EXPECT_EQ(runner.idle_skips(), 2);
+}
+
+// ---- window fusion: dispatch accounting and byte-invariance ----
+
+/// Drives one simulator with pre-scheduled events at exact `spacing`
+/// intervals through a ShardRunner with the given fusion factor; returns
+/// (fired ticks, runner) stats via out-params.
+std::vector<std::int64_t> run_fused(int fusion, std::int64_t* windows,
+                                    std::int64_t* windows_fused,
+                                    std::int64_t* sub_windows,
+                                    double* lookahead_avg_ms) {
+  sim::Simulator simulator;
+  std::vector<std::int64_t> fired;
+  // Events at 1, 11, ..., 71 — one per unit sub-window under lookahead 10.
+  for (std::int64_t t = 1; t <= 71; t += 10) {
+    simulator.schedule_at(SimTime::millis(t),
+                          [&fired, t] { fired.push_back(t); });
+  }
+  sim::ShardRunner runner(1, SimTime::millis(10), /*threads=*/1, fusion);
+  sim::ShardRunner::Callbacks callbacks;
+  callbacks.next_event_time = [&](int) { return simulator.next_event_time(); };
+  callbacks.at_window_start = [](SimTime) {};
+  callbacks.run_to = [&](int, SimTime t) { simulator.run_until(t); };
+  callbacks.at_barrier = [](SimTime) {};
+  runner.run(SimTime::millis(80), callbacks);
+  *windows = runner.windows();
+  *windows_fused = runner.windows_fused();
+  *sub_windows = runner.sub_windows();
+  *lookahead_avg_ms = runner.lookahead_avg_ms();
+  return fired;
+}
+
+TEST(ShardRunner, FusionAbsorbsSubWindowsWithoutChangingTheEventSequence) {
+  std::int64_t unit_windows = 0, unit_fused = 0, unit_subs = 0;
+  double unit_avg = 0;
+  const auto unit_fired =
+      run_fused(1, &unit_windows, &unit_fused, &unit_subs, &unit_avg);
+  EXPECT_EQ(unit_fired.size(), 8u);
+  EXPECT_EQ(unit_windows, 8);   // one dispatch per unit sub-window
+  EXPECT_EQ(unit_fused, 0);
+  EXPECT_EQ(unit_subs, 8);
+  EXPECT_DOUBLE_EQ(unit_avg, 10.0);  // 80 ms of horizon over 8 sub-windows
+
+  std::int64_t fused_windows = 0, fused_fused = 0, fused_subs = 0;
+  double fused_avg = 0;
+  const auto fused_fired =
+      run_fused(4, &fused_windows, &fused_fused, &fused_subs, &fused_avg);
+  // Same executed sub-window sequence — fusion only moves the dispatch
+  // boundaries, so the fired events are identical...
+  EXPECT_EQ(fused_fired, unit_fired);
+  // ...but 8 sub-windows now ride 2 dispatches of 4.
+  EXPECT_EQ(fused_windows, 2);
+  EXPECT_EQ(fused_fused, 6);
+  EXPECT_EQ(fused_subs, 8);
+  EXPECT_DOUBLE_EQ(fused_avg, unit_avg);
+}
+
+TEST(ShardRunner, RejectsANonPositiveFusionFactor) {
+  EXPECT_THROW(sim::ShardRunner(1, SimTime::millis(10), 1, 0),
+               util::ContractViolation);
+  EXPECT_THROW(sim::ShardRunner(1, SimTime::millis(10), 1, -4),
+               util::ContractViolation);
+}
+
+// The conservative guarantee the fusion layer must never break: if a
+// window is stretched past a cross-shard envelope's due tick (the
+// destination simulator runs beyond deliver_at before the barrier), the
+// exchange detects the violation and aborts instead of delivering late.
+TEST(ShardRouter, ExchangeThrowsWhenAWindowStretchedPastADueCrossShardTick) {
+  std::vector<std::unique_ptr<sim::Simulator>> simulators;
+  simulators.push_back(std::make_unique<sim::Simulator>());
+  simulators.push_back(std::make_unique<sim::Simulator>());
+  IntRouter router(2, SimTime::millis(10));
+  router.bind(0, *simulators[0], nullptr, [](void*, const IntRouter::Envelope&) {});
+  router.bind(1, *simulators[1], nullptr, [](void*, const IntRouter::Envelope&) {});
+  IntRouter::Envelope envelope;
+  envelope.from = 1;  // shard 1 -> shard 0, due at tick 10
+  envelope.to = 0;
+  envelope.sent_at = 0;
+  envelope.deliver_at = 10;
+  router.send(1, std::move(envelope));
+  // A correct runner would barrier at tick <= 9. Stretch the destination
+  // past the due tick instead — an over-wide fused window.
+  simulators[0]->run_until(SimTime::millis(10));
+  simulators[1]->run_until(SimTime::millis(10));
+  EXPECT_THROW(router.exchange(), util::ContractViolation);
 }
 
 // ---------- ShardedSystem: the any-shard-count parity contract ----------
@@ -590,6 +694,40 @@ TEST(ShardedScenarios, PayloadIsByteIdenticalForAnyShardsAndThreads) {
   }
 }
 
+// The adaptive-lookahead contract (docs/sharding.md): the fusion factor
+// is byte-invisible across every shard count and both event-list
+// backends — randomized-ish differential over the fig5 workload.
+TEST(ShardedScenarios, PayloadIsByteIdenticalForAnyFusionShardsAndBackend) {
+  scenario::ScenarioOptions base;
+  base.seed = 2002;
+  base.scale = 500;
+  std::string reference;
+  for (const int shards : {1, 4, 8}) {
+    for (const auto backend : {sim::EventListKind::kBinaryHeap,
+                               sim::EventListKind::kCalendarQueue}) {
+      for (const std::optional<int> fusion : {std::optional<int>{1},
+                                              std::optional<int>{},
+                                              std::optional<int>{32}}) {
+        scenario::ScenarioOptions options = base;
+        options.shards = shards;
+        options.event_list = backend;
+        options.fusion = fusion;  // 1 = unfused reference, unset = default
+        const std::string run =
+            scenario::run_scenario("msg_fig5_sharded", options).dump();
+        if (reference.empty()) {
+          reference = run;
+        } else {
+          EXPECT_EQ(reference, run)
+              << shards << " shards, backend "
+              << static_cast<int>(backend) << ", fusion "
+              << (fusion ? *fusion : -1);
+        }
+      }
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
 TEST(ShardedScenarios, MechanicsBlockAppearsOnlyBehindTheFlag) {
   scenario::ScenarioOptions options;
   options.seed = 3;
@@ -657,6 +795,16 @@ TEST(ShardedScenarios, GoldenOutputHashesMatchThePreCompactionEngine) {
     options.loss = 0.05;
     EXPECT_EQ(fnv1a(scenario::run_scenario("msg_fig5_sharded", options).dump()),
               0x6bfe660c7d8b970aull);
+  }
+  // The unfused reference mode hits the very same pre-fusion hash — window
+  // fusion is byte-invisible even against the golden pins.
+  {
+    scenario::ScenarioOptions options;
+    options.seed = 2002;
+    options.scale = 10;
+    options.fusion = 1;
+    EXPECT_EQ(fnv1a(scenario::run_scenario("msg_fig5_sharded", options).dump()),
+              0xc124306815bb08dbull);
   }
 }
 

@@ -264,6 +264,33 @@ TEST(RunSweep, PolicyAxisIsEchoedAndChangesRuns) {
   EXPECT_NE(delay_of(default_half), delay_of(wide_half));
 }
 
+// threads==1 must take the serial path: a plain indexed loop with no
+// worker pool. SweepStats.pool_threads observes the dispatch mechanics.
+TEST(RunSweep, OneThreadConstructsNoWorkerPool) {
+  const auto points = small_eight_point_spec().points();
+  SweepStats stats;
+  stats.pool_threads = 99;  // sentinel: the call must reset it
+  const auto serial = run_sweep_points(points, 1, &stats);
+  EXPECT_EQ(stats.pool_threads, 0u);
+  // ...and the serial report is byte-identical to a pooled one.
+  const auto pooled = run_sweep_points(points, 4, &stats);
+  EXPECT_EQ(stats.pool_threads, 4u);
+  EXPECT_EQ(serial.dump(), pooled.dump());
+}
+
+// The clamp makes a single-point sweep serial no matter how many threads
+// were requested — one point never justifies a pool.
+TEST(RunSweep, SinglePointSweepIsSerialEvenWithManyThreads) {
+  SweepSpec spec;
+  spec.scenarios = {"flash_crowd"};
+  spec.seeds = {5};
+  spec.scales = {200};
+  SweepStats stats;
+  const auto report = run_sweep_points(spec.points(), 16, &stats);
+  EXPECT_EQ(stats.pool_threads, 0u);
+  EXPECT_NE(report.dump().find("\"points\":1"), std::string::npos);
+}
+
 TEST(RunSweep, MoreThreadsThanPointsIsFine) {
   SweepSpec spec;
   spec.scenarios = {"flash_crowd"};
